@@ -1,0 +1,157 @@
+"""Ablation benches for the §5 future-direction fusers.
+
+Each bench runs one extension fuser against its natural baseline on the
+shared scenario and records the comparison — the ablation counterpart to
+DESIGN.md's extension table.
+"""
+
+from repro.experiments.common import metrics_for
+from repro.fusion import FusionConfig, accu, popaccu
+from repro.fusion.extensions import (
+    ConfidenceWeightedFuser,
+    HierarchicalFuser,
+    MultiTruthFuser,
+    SplitQualityFuser,
+)
+from repro.report import format_table
+
+
+def _record(results_dir, name, rows, extra=""):
+    text = format_table(
+        ("model", "Dev.", "WDev.", "AUC-PR"), rows, title=name, float_digits=4
+    )
+    if extra:
+        text += "\n" + extra
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def bench_ext_split(benchmark, scenario, results_dir):
+    """Direction 1: factored extractor × source quality vs plain ACCU."""
+    fusion_input = scenario.fusion_input()
+    result = benchmark.pedantic(
+        SplitQualityFuser(FusionConfig()).fuse, args=(fusion_input,),
+        rounds=1, iterations=1,
+    )
+    base = accu().fuse(fusion_input)
+    ours = metrics_for(result.probabilities, scenario.gold)
+    baseline = metrics_for(base.probabilities, scenario.gold)
+    quality = result.diagnostics["extractor_quality"]
+    extra = "learned extractor quality: " + ", ".join(
+        f"{k}={v:.2f}" for k, v in sorted(quality.items(), key=lambda kv: -kv[1])
+    )
+    _record(
+        results_dir,
+        "ext_split",
+        [("SPLITQ", *ours.row()), ("ACCU", *baseline.row())],
+        extra,
+    )
+    # The factored model must at least rank the sloppy extractor below the
+    # careful ones.
+    assert quality["DOM2"] < quality["DOM3"]
+    assert quality["DOM2"] < quality["TXT4"]
+
+
+def bench_ext_funct(benchmark, scenario, results_dir):
+    """Direction 3: multi-truth fusion vs single-truth POPACCU."""
+    fusion_input = scenario.fusion_input()
+    fuser = MultiTruthFuser(FusionConfig(max_rounds=3))
+    result = benchmark.pedantic(
+        fuser.fuse, args=(fusion_input,), rounds=1, iterations=1
+    )
+    base = popaccu().fuse(fusion_input)
+    world = scenario.world
+
+    def non_functional_recall(probabilities):
+        hits = total = 0
+        for triple, probability in probabilities.items():
+            predicate = world.schema.predicates.get(triple.predicate)
+            if predicate is None or predicate.functional:
+                continue
+            if world.is_true_exact(triple):
+                total += 1
+                hits += probability > 0.5
+        return hits / total if total else 0.0
+
+    ours = non_functional_recall(result.probabilities)
+    baseline = non_functional_recall(base.probabilities)
+    functionality = result.diagnostics["functionality"]
+    extra = (
+        f"recall of true non-functional values at p>0.5 (vs world truth): "
+        f"MULTITRUTH={ours:.3f} POPACCU={baseline:.3f}\n"
+        "learned functionality (top 3): "
+        + ", ".join(
+            f"{pid.rsplit('/', 1)[-1]}={v:.2f}"
+            for pid, v in sorted(functionality.items(), key=lambda kv: -kv[1])[:3]
+        )
+    )
+    ours_m = metrics_for(result.probabilities, scenario.gold)
+    base_m = metrics_for(base.probabilities, scenario.gold)
+    _record(
+        results_dir,
+        "ext_funct",
+        [("MULTITRUTH", *ours_m.row()), ("POPACCU", *base_m.row())],
+        extra,
+    )
+    assert ours >= baseline  # dropping single-truth must not lose truths
+
+
+def bench_ext_hier(benchmark, scenario, results_dir):
+    """Direction 4: hierarchical value support vs plain ACCU.
+
+    Scored against *world* truth (hierarchy-aware), because LCWA labels
+    true-but-general values false — the very artifact direction 4 fixes.
+    """
+    fusion_input = scenario.fusion_input()
+    fuser = HierarchicalFuser(
+        scenario.world.schema, scenario.world.hierarchy, FusionConfig(max_rounds=3)
+    )
+    result = benchmark.pedantic(
+        fuser.fuse, args=(fusion_input,), rounds=1, iterations=1
+    )
+    base = accu().fuse(fusion_input)
+    world = scenario.world
+
+    def hierarchical_recall(probabilities):
+        hits = total = 0
+        for triple, probability in probabilities.items():
+            predicate = world.schema.predicates.get(triple.predicate)
+            if predicate is None or not predicate.hierarchical:
+                continue
+            if world.is_true(triple):  # exact or true generalisation
+                total += 1
+                hits += probability > 0.5
+        return hits / total if total else 0.0
+
+    ours = hierarchical_recall(result.probabilities)
+    baseline = hierarchical_recall(base.probabilities)
+    extra = (
+        f"recall of true (incl. generalised) hierarchical values at p>0.5: "
+        f"HIERACCU={ours:.3f} ACCU={baseline:.3f}"
+    )
+    ours_m = metrics_for(result.probabilities, scenario.gold)
+    base_m = metrics_for(base.probabilities, scenario.gold)
+    _record(
+        results_dir,
+        "ext_hier",
+        [("HIERACCU", *ours_m.row()), ("ACCU", *base_m.row())],
+        extra,
+    )
+    assert ours >= baseline
+
+
+def bench_ext_conf(benchmark, scenario, results_dir):
+    """Direction 5: confidence-weighted votes vs plain ACCU."""
+    fusion_input = scenario.fusion_input()
+    fuser = ConfidenceWeightedFuser(FusionConfig())
+    result = benchmark.pedantic(
+        fuser.fuse, args=(fusion_input,), rounds=1, iterations=1
+    )
+    base = accu().fuse(fusion_input)
+    ours = metrics_for(result.probabilities, scenario.gold)
+    baseline = metrics_for(base.probabilities, scenario.gold)
+    _record(
+        results_dir,
+        "ext_conf",
+        [("CONFACCU", *ours.row()), ("ACCU", *baseline.row())],
+    )
+    assert ours.auc_pr > baseline.auc_pr - 0.05

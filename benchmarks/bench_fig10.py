@@ -1,0 +1,15 @@
+"""Benchmark: Figure 10 — provenance granularity sweep.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig10.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig10(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig10")
+    assert len(result.data) == 4
+    finest = result.data["(Ext, Site, Pred, Pattern)"]
+    coarsest = result.data["(Extractor, URL)"]
+    assert finest["n_provenances"] != coarsest["n_provenances"]

@@ -1,0 +1,13 @@
+"""Benchmark: Figure 11 — provenance selection filters.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig11.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig11(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig11")
+    assert result.data["BYCOV"]["predicted_share"] < 1.0
+    assert result.data["NOFILTERING"]["predicted_share"] == 1.0

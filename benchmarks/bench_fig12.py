@@ -1,0 +1,12 @@
+"""Benchmark: Figure 12 — gold-standard accuracy initialisation.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig12.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig12(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig12")
+    assert result.data["100%"]["auc_pr"] > result.data["default"]["auc_pr"]

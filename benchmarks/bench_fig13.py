@@ -1,0 +1,13 @@
+"""Benchmark: Figure 13 — cumulative refinements to POPACCU+.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig13.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig13(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig13")
+    assert result.data["+GoldStandard"]["wdev"] < result.data["POPACCU"]["wdev"]
+    assert result.data["+GoldStandard"]["auc_pr"] > result.data["POPACCU"]["auc_pr"]

@@ -1,0 +1,15 @@
+"""Benchmark: Figure 14 — rounds, sampling L and round cap R.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig14.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig14(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig14")
+    per_round = result.data["per_round_wdev"]
+    assert len(per_round["DefaultAccu"]) == 5
+    lr = result.data["lr_table"]
+    assert abs(lr["L=1K, R=5"]["wdev"] - lr["L=1M, R=5"]["wdev"]) < 0.02

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 15 — PR curves of the five models.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig15.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig15(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig15")
+    assert result.data["POPACCU+"]["auc_pr"] == max(
+        d["auc_pr"] for d in result.data.values()
+    )

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 17 — error categorisation of POPACCU+.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig17.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig17(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig17")
+    assert result.data["n_false_positives"] > 0
+    assert result.data["n_false_negatives"] > 0
+    assert "multiple_truths" in result.data["fn_categories"]

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 18 — accuracy by #provenances × #extractors.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig18.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig18(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig18")
+    single = dict((e, a) for e, _n, a in result.data["1 extractor"])
+    multi_key = next(k for k in result.data if k.startswith(">="))
+    multi = dict((e, a) for e, _n, a in result.data[multi_key])
+    shared = set(single) & set(multi)
+    assert shared
+    gaps = [multi[e] - single[e] for e in shared]
+    assert sum(gaps) / len(gaps) > 0

@@ -1,0 +1,15 @@
+"""Benchmark: Figure 19 — Kappa correlation between extractor pairs.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig19.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig19(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig19")
+    assert result.data["same_type"]["n"] + result.data["cross_type"]["n"] == len(
+        result.data["pairs"]
+    )
+    assert result.data["cross_type"]["negative"] > 0

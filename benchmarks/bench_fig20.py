@@ -1,0 +1,14 @@
+"""Benchmark: Figure 20 — #truths per data item.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig20.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig20(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig20")
+    distribution = dict(result.data["distribution"])
+    # Items with 0 or 1 truths dominate (paper: 95%).
+    assert distribution["0"] + distribution["1"] > 0.8

@@ -1,0 +1,15 @@
+"""Benchmark: Figure 21 — confidence behaviour of four extractors.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig21.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig21(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig21")
+    assert set(result.data) == {"TXT1", "DOM2", "TBL1", "ANO"}
+    # DOM2 reports extremes: most confidences at the edges.
+    dom2 = dict(result.data["DOM2"]["coverage"])
+    assert dom2[0.1] > 0.3

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 22 — coverage when filtering by confidence.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig22.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig22(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig22")
+    points = dict(result.data["points"])
+    assert points[0.1] < 1.0  # even theta=0.1 already loses triples
+    assert points[0.9] < points[0.1]

@@ -1,0 +1,16 @@
+"""Benchmark: Figure 3 — content-type contributions and overlaps.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig3.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig3(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig3")
+    contributions = result.data["contributions"]
+    assert contributions["DOM"] == max(contributions.values())
+    assert contributions["TBL"] == min(contributions.values())
+    # Overlaps are small relative to contributions.
+    assert max(result.data["overlaps"].values()) < contributions["DOM"] * 0.5

@@ -1,0 +1,13 @@
+"""Benchmark: Figure 4 — distribution of predicate accuracy.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig4.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig4(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig4")
+    assert 0.0 < result.data["share_low"] < 1.0
+    assert abs(sum(s for _b, s in result.data["histogram"]) - 1.0) < 1e-9

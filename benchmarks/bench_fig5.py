@@ -1,0 +1,13 @@
+"""Benchmark: Figure 5 — best-vs-worst extractor gap per page.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig5.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig5(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig5")
+    assert result.data["mean_gap"] > 0.1  # paper: 0.32
+    assert result.data["share_above_half"] > 0.0  # paper: 21%

@@ -1,0 +1,16 @@
+"""Benchmark: Figure 6 — accuracy by #extractors.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig6.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig6(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig6")
+    points = result.data["points"]
+    assert points, "no accuracy points"
+    lows = [a for x, _n, a in points if x == 1]
+    highs = [a for x, _n, a in points if x >= 4]
+    assert not highs or not lows or max(highs) > lows[0]

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 7 — accuracy by #URLs.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig7.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig7(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig7")
+    points = result.data["points"]
+    assert points[0][2] < 0.6  # single-URL triples are unreliable
+    assert max(a for _e, _n, a in points) > points[0][2]

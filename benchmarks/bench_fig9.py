@@ -1,0 +1,14 @@
+"""Benchmark: Figure 9 — calibration of the basic fusion methods.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/fig9.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_fig9(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "fig9")
+    assert result.data["VOTE"]["auc_pr"] == min(
+        result.data[m]["auc_pr"] for m in ("VOTE", "ACCU", "POPACCU")
+    )

@@ -1,0 +1,54 @@
+"""Throughput benchmarks for the pipeline stages themselves.
+
+Unlike the per-figure benches (one-shot regeneration), these measure the
+hot paths with repeated rounds: world generation, extraction, claim-matrix
+construction, and one fusion round — the numbers that determine how far
+the laptop-scale reproduction can be pushed.
+"""
+
+from repro.datasets import ScenarioConfig, build_scenario
+from repro.fusion import FusionConfig, FusionInput, Granularity, popaccu
+from repro.world.config import WebConfig, WorldConfig
+from repro.world.worldgen import generate_world
+
+_BENCH_WORLD = WorldConfig(n_types=10, n_entities=400)
+_BENCH_WEB = WebConfig(n_sites=40, n_pages=400)
+
+
+def bench_world_generation(benchmark):
+    world = benchmark(generate_world, _BENCH_WORLD, 7)
+    assert len(world.entities) > 100
+
+
+def bench_extraction(benchmark):
+    scenario = build_scenario(
+        ScenarioConfig(seed=7, world=_BENCH_WORLD, web=_BENCH_WEB)
+    )
+    pipeline, corpus = scenario.pipeline, scenario.corpus
+    records = benchmark(pipeline.run, corpus)
+    assert len(records) > 1000
+
+
+def bench_claim_matrix(benchmark):
+    scenario = build_scenario(
+        ScenarioConfig(seed=7, world=_BENCH_WORLD, web=_BENCH_WEB)
+    )
+    records = scenario.records
+
+    def build():
+        return FusionInput(records).claims(Granularity.EXTRACTOR_URL)
+
+    matrix = benchmark(build)
+    assert matrix.n_claims() > 1000
+
+
+def bench_popaccu_round(benchmark, scenario):
+    """One full POPACCU round (stage I + stage II) on the shared corpus."""
+    fusion_input = scenario.fusion_input()
+    config = FusionConfig(max_rounds=1, convergence_tol=0.0)
+
+    def one_round():
+        return popaccu(config).fuse(fusion_input)
+
+    result = benchmark.pedantic(one_round, rounds=3, iterations=1)
+    assert result.probabilities

@@ -1,0 +1,16 @@
+"""Benchmark: Table 1 — corpus overview and skew.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/table1.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_table1(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "table1")
+    counts = result.data["counts"]
+    assert counts["#Triples (unique)"] > 1000
+    skews = result.data["skews"]
+    # The paper's hallmark: median far below mean (heavy head, long tail).
+    assert skews["#Triples/entity"]["median"] < skews["#Triples/entity"]["mean"]

@@ -1,0 +1,18 @@
+"""Benchmark: Table 2 — per-extractor volume and quality.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/table2.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_table2(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "table2")
+    assert len(result.data) == 12
+    # The quality spread: careful extractors far above sloppy ones.
+    assert result.data["TXT4"]["accuracy"] > result.data["DOM2"]["accuracy"] + 0.3
+    # Volume ordering: DOM1 is the largest contributor, as in the paper.
+    assert result.data["DOM1"]["records"] == max(
+        d["records"] for d in result.data.values()
+    )

@@ -1,0 +1,15 @@
+"""Benchmark: Table 3 — functional vs non-functional predicates.
+
+Regenerates the paper artifact on the shared small-scale scenario and
+records the rendered rows in ``benchmarks/results/table3.txt``.
+"""
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_table3(benchmark, scenario, results_dir):
+    result = run_and_record(benchmark, scenario, results_dir, "table3")
+    assert (
+        result.data["non_functional"]["predicates"]
+        > result.data["functional"]["predicates"]
+    )

@@ -1,0 +1,111 @@
+"""Classic 2-D data fusion: the book-author scenario.
+
+Before knowledge fusion there was data fusion (§2 of the paper): a flat
+source × data-item matrix with no extractors in between.  This example
+rebuilds the canonical motivating scenario of the ACCU line of work — a
+set of online bookstores listing authors for the same books, with a sloppy
+aggregator whose catalogue two mirrors copy verbatim — and shows why
+accuracy-aware fusion beats voting when a wrong value arrives with extra
+copied votes.
+
+The key mechanic: on the *uncontested* books three honest stores outvote
+the copiers, so the Bayesian fusers learn that the aggregator family is
+unreliable; on the *contested* books (listed by only two honest stores)
+that learned accuracy is what flips the outcome, while VOTE just counts
+3 > 2 and gets them wrong.
+
+In library terms a "source" is a provenance with a single URL and one
+shared trivial extractor — exactly how the 2-D problem embeds into 3-D.
+
+Run:  python examples/classic_data_fusion.py
+"""
+
+from repro.extract.records import ExtractionRecord
+from repro.fusion import FusionInput, accu, popaccu, vote
+from repro.kb import StringValue, Triple
+
+# The latent truth.
+TRUTH = {
+    "/book/rapport": "Marc Chen",
+    "/book/harbor": "Ines Valdez",
+    "/book/orchid": "Tomas Brandt",
+    "/book/meridian": "Ada Okafor",
+    "/book/lantern": "Noor Haddad",
+    "/book/sundial": "Petra Lindqvist",
+}
+
+# Books where the aggregator is wrong and the honest stores outnumber the
+# copiers 4 to 3 — the copiers' visible track record.
+_COMMON_WRONG = {
+    "/book/harbor": "I. Valdez-Smith",
+    "/book/meridian": "A. Okafor Ltd.",
+    "/book/lantern": "N. Haddad & Sons",
+    "/book/sundial": "P. Lindqvist Jr.",
+}
+# Contested books: three honest stores against the three copiers — a dead
+# tie by headcount.
+_CONTESTED_WRONG = {
+    "/book/rapport": "M. Chen Jr.",
+    "/book/orchid": "T. Brandt & Co.",
+}
+
+CLAIMS = {
+    "honest1": dict(TRUTH),
+    "honest2": dict(TRUTH),
+    "honest3": dict(TRUTH),
+    "honest4": {k: v for k, v in TRUTH.items() if k in _COMMON_WRONG},
+    "aggregator": {**_COMMON_WRONG, **_CONTESTED_WRONG},
+    "mirror1": {**_COMMON_WRONG, **_CONTESTED_WRONG},
+    "mirror2": {**_COMMON_WRONG, **_CONTESTED_WRONG},
+}
+
+
+def main() -> None:
+    records = []
+    for store, catalog in CLAIMS.items():
+        for book, author in catalog.items():
+            records.append(
+                ExtractionRecord(
+                    triple=Triple(book, "book/book/author", StringValue(author)),
+                    extractor="STORE",  # one shared trivial "extractor"
+                    url=f"http://{store}.example.org/catalog",
+                    site=f"{store}.example.org",
+                    content_type="TBL",
+                )
+            )
+    fusion_input = FusionInput(records)
+    results = [fuser.fuse(fusion_input) for fuser in (vote(), accu(), popaccu())]
+
+    print("book-author fusion with a copied-but-wrong aggregator\n")
+    header = f"{'book':12}{'candidate':20}" + "".join(
+        f"{r.method:>10}" for r in results
+    )
+    print(header + "   truth?")
+    print("-" * (len(header) + 9))
+    for triple in sorted(results[0].probabilities):
+        is_true = TRUTH[triple.subject] == triple.obj.text
+        contested = triple.subject in _CONTESTED_WRONG
+        row = f"{triple.subject.split('/')[-1]:12}{triple.obj.text:20}"
+        for result in results:
+            row += f"{result.probabilities[triple]:10.3f}"
+        marks = (" <- true" if is_true else "") + (" (contested)" if contested else "")
+        print(row + marks)
+
+    contested_right = all(
+        result.probabilities[
+            Triple(book, "book/book/author", StringValue(TRUTH[book]))
+        ]
+        > 0.5
+        for result in results[1:]  # ACCU and POPACCU
+        for book in _CONTESTED_WRONG
+    )
+    print(
+        "\nOn the contested books the headcount is a 3-3 tie, so VOTE is"
+        "\nstuck at 0.5; the Bayesian fusers have learned from the other"
+        "\nfour books that the aggregator family is unreliable, and get "
+        + ("them right." if contested_right else "them wrong (unexpected!).")
+    )
+
+
+if __name__ == "__main__":
+    main()

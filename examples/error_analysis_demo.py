@@ -1,0 +1,77 @@
+"""Error analysis: why does the best model still get things wrong?
+
+Reproduces the paper's §4.4 investigation (Figure 17) with receipts: runs
+POPACCU+ on a synthetic scenario, categorises every false positive and
+false negative against the known ground truth, and prints one concrete
+example per category with human-readable entity names.
+
+Run:  python examples/error_analysis_demo.py
+"""
+
+from repro.datasets import build_scenario, tiny_config
+from repro.eval.analysis import analyze_errors
+from repro.experiments.common import standard_fusion_results
+from repro.kb import EntityRef, Triple
+
+
+def pretty(scenario, triple: Triple) -> str:
+    """Render a triple with entity names instead of mids."""
+
+    def name_of(entity_id: str) -> str:
+        try:
+            return scenario.world.entities.get(entity_id).name
+        except Exception:
+            return entity_id
+
+    obj = triple.obj
+    obj_text = (
+        name_of(obj.entity_id) if isinstance(obj, EntityRef) else obj.canonical()
+    )
+    return (
+        f"({name_of(triple.subject)}, "
+        f"{triple.predicate.rsplit('/', 1)[-1]}, {obj_text})"
+    )
+
+
+def main() -> None:
+    scenario = build_scenario(tiny_config(seed=0))
+    result = standard_fusion_results(scenario)["POPACCU+"]
+    breakdown = analyze_errors(scenario, result.probabilities)
+
+    print(
+        f"POPACCU+ made {breakdown.n_false_positives} false positives "
+        f"(p >= {breakdown.fp_threshold}) and {breakdown.n_false_negatives} "
+        f"false negatives (p <= {breakdown.fn_threshold})\n"
+    )
+    print("false positives by cause (paper Fig 17 left):")
+    for category, share in breakdown.fp_shares().items():
+        count = breakdown.fp_categories[category]
+        example = breakdown.fp_examples.get(category)
+        print(f"  {category:28} {count:4d}  ({share:.0%})")
+        if example is not None:
+            print(f"      e.g. {pretty(scenario, example)}")
+    if breakdown.fp_extraction_kinds:
+        print("\n  extraction-error kinds among the genuine errors:")
+        for kind, count in breakdown.fp_extraction_kinds.most_common():
+            print(f"      {kind:26} {count}")
+
+    print("\nfalse negatives by cause (paper Fig 17 right):")
+    for category, share in breakdown.fn_shares().items():
+        count = breakdown.fn_categories[category]
+        example = breakdown.fn_examples.get(category)
+        print(f"  {category:28} {count:4d}  ({share:.0%})")
+        if example is not None:
+            print(f"      e.g. {pretty(scenario, example)}")
+
+    print(
+        "\nReading guide: the paper found 50% of its false positives were"
+        "\nnot errors at all but artifacts of the local closed-world"
+        "\nassumption, and 65% of false negatives came from the single-truth"
+        "\nassumption on non-functional predicates.  The categories above"
+        "\nare computed exhaustively because the synthetic world knows the"
+        "\ntrue cause of every mistake."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Provenance granularity: how to slice the 3-D input (paper §4.3.1).
+
+Knowledge fusion flattens (extractor × source × data item) into 2-D by
+choosing a provenance key.  This example sweeps all the granularities the
+paper evaluates — including the two degenerate ones of Figure 9 — and
+shows the trade-off the paper describes: coarser sources have more support
+data for accuracy estimation but blur quality differences; finer sources
+are sharper but starve.
+
+Run:  python examples/granularity_study.py
+"""
+
+from dataclasses import replace
+
+from repro.datasets import build_scenario, tiny_config
+from repro.experiments.common import metrics_for
+from repro.fusion import FusionConfig, Granularity, popaccu
+from repro.report import format_table
+
+LEVELS = (
+    ("URL only ('Only src')", Granularity.URL_ONLY),
+    ("pattern only ('Only ext')", Granularity.EXTRACTOR_PATTERN_ONLY),
+    ("(Extractor, URL)", Granularity.EXTRACTOR_URL),
+    ("(Extractor, Site)", Granularity.EXTRACTOR_SITE),
+    ("(Ext, Site, Predicate)", Granularity.EXTRACTOR_SITE_PREDICATE),
+    ("(Ext, Site, Pred, Pattern)", Granularity.EXTRACTOR_SITE_PREDICATE_PATTERN),
+)
+
+
+def main() -> None:
+    scenario = build_scenario(tiny_config(seed=0))
+    fusion_input = scenario.fusion_input()
+
+    rows = []
+    for label, granularity in LEVELS:
+        matrix = fusion_input.claims(granularity)
+        support = list(matrix.provenance_support().values())
+        singletons = sum(1 for s in support if s == 1) / len(support)
+        config = replace(FusionConfig(), granularity=granularity)
+        result = popaccu(config).fuse(fusion_input)
+        metrics = metrics_for(result.probabilities, scenario.gold)
+        rows.append(
+            (
+                label,
+                len(support),
+                f"{singletons:.0%}",
+                metrics.dev,
+                metrics.wdev,
+                metrics.auc_pr,
+            )
+        )
+    print(
+        format_table(
+            (
+                "granularity",
+                "#provenances",
+                "singleton",
+                "Dev.",
+                "WDev.",
+                "AUC-PR",
+            ),
+            rows,
+            title="POPACCU across provenance granularities (paper Figs 9-10)",
+            float_digits=4,
+        )
+    )
+    print(
+        "\n'singleton' = share of provenances contributing one triple —"
+        "\nthe accuracy-evaluation starvation the coverage filter targets."
+        "\nThe paper's best setting is the finest: (Extractor, Site,"
+        "\nPredicate, Pattern)."
+    )
+
+
+if __name__ == "__main__":
+    main()

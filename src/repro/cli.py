@@ -1,0 +1,77 @@
+"""Command-line interface: run any experiment against a preset scenario.
+
+Usage::
+
+    repro-kf list
+    repro-kf run fig9 [--scale small] [--seed 0]
+    repro-kf run all --scale tiny
+    python -m repro.cli run table2
+
+The scenario is generated deterministically from the seed; the first
+experiment of a session pays the generation cost, later ones share it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets import (
+    build_scenario,
+    medium_config,
+    small_config,
+    tiny_config,
+)
+from repro.experiments import experiment_ids, run_experiment
+
+_SCALES = {
+    "tiny": tiny_config,
+    "small": small_config,
+    "medium": medium_config,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-kf",
+        description="Knowledge-fusion reproduction (Dong et al., VLDB 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiment ids")
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id, e.g. fig9, or 'all'")
+    run_parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="small",
+        help="scenario preset (default: small)",
+    )
+    run_parser.add_argument("--seed", type=int, default=0, help="master seed")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+    scenario = build_scenario(_SCALES[args.scale](seed=args.seed))
+    ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, scenario)
+        print(result.text)
+        print()
+    return 0
+
+
+def _entry() -> int:  # pragma: no cover - thin wrapper
+    try:
+        return main()
+    except BrokenPipeError:
+        # `repro-kf list | head` closes the pipe early; exit quietly.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(_entry())

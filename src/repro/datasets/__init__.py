@@ -1,0 +1,24 @@
+"""Scenario builders: world → web → extraction → gold standard.
+
+A :class:`~repro.datasets.scenario.Scenario` bundles everything one fusion
+experiment needs: the latent world, the web corpus, the Freebase snapshot,
+the 12 extractors' output and the LCWA gold standard.  Presets provide
+laptop-scale configurations (``tiny`` for tests, ``small`` for benches,
+``medium`` for longer runs); profiles carry the per-extractor knobs
+calibrated against the paper's Table 2.
+"""
+
+from repro.datasets.profiles import EXTRACTOR_PROFILES, profile_by_name
+from repro.datasets.presets import tiny_config, small_config, medium_config
+from repro.datasets.scenario import Scenario, ScenarioConfig, build_scenario
+
+__all__ = [
+    "EXTRACTOR_PROFILES",
+    "profile_by_name",
+    "tiny_config",
+    "small_config",
+    "medium_config",
+    "Scenario",
+    "ScenarioConfig",
+    "build_scenario",
+]

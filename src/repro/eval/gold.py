@@ -1,0 +1,99 @@
+"""Gold-standard wrapper: sliced views over LCWA labels.
+
+The raw gold standard is a ``dict[Triple, bool]``; experiments repeatedly
+need the same derived views — accuracy over a triple set, per-predicate
+slices, per-data-item truth counts, coverage.  :class:`GoldStandard` wraps
+the dict with those views (computed lazily, cached), so experiment code
+stops re-deriving them ad hoc.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import EvaluationError
+from repro.kb.triples import DataItem, Triple
+
+__all__ = ["GoldStandard"]
+
+
+@dataclass
+class GoldStandard:
+    """LCWA labels plus derived views."""
+
+    labels: dict[Triple, bool]
+    _by_predicate: dict[str, list[Triple]] | None = field(
+        default=None, repr=False
+    )
+    _true_counts: Counter | None = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self.labels
+
+    def label(self, triple: Triple) -> bool | None:
+        return self.labels.get(triple)
+
+    # ------------------------------------------------------------------
+    def accuracy(self, triples: Iterable[Triple]) -> float | None:
+        """Fraction of the labelled subset of ``triples`` that is true."""
+        labelled = [self.labels[t] for t in triples if t in self.labels]
+        if not labelled:
+            return None
+        return sum(labelled) / len(labelled)
+
+    def coverage(self, triples: Iterable[Triple]) -> float:
+        """Fraction of ``triples`` that carry a label."""
+        triples = list(triples)
+        if not triples:
+            raise EvaluationError("coverage of an empty triple set is undefined")
+        return sum(1 for t in triples if t in self.labels) / len(triples)
+
+    # ------------------------------------------------------------------
+    def by_predicate(self) -> dict[str, list[Triple]]:
+        """Labelled triples grouped by predicate (cached)."""
+        if self._by_predicate is None:
+            grouped: dict[str, list[Triple]] = defaultdict(list)
+            for triple in self.labels:
+                grouped[triple.predicate].append(triple)
+            self._by_predicate = dict(grouped)
+        return self._by_predicate
+
+    def predicate_accuracy(self, min_labelled: int = 1) -> dict[str, float]:
+        """Per-predicate accuracy over predicates with enough labels."""
+        result = {}
+        for predicate, triples in self.by_predicate().items():
+            if len(triples) >= min_labelled:
+                accuracy = self.accuracy(triples)
+                if accuracy is not None:
+                    result[predicate] = accuracy
+        return result
+
+    # ------------------------------------------------------------------
+    def truth_counts(self) -> Counter:
+        """#gold-true triples per labelled data item (Figure 20's input)."""
+        if self._true_counts is None:
+            counts: Counter = Counter()
+            for triple, label in self.labels.items():
+                counts.setdefault(triple.data_item, 0)
+                if label:
+                    counts[triple.data_item] += 1
+            self._true_counts = counts
+        return self._true_counts
+
+    def items_with_truths(self, at_least: int = 1) -> list[DataItem]:
+        return [
+            item
+            for item, count in self.truth_counts().items()
+            if count >= at_least
+        ]
+
+    def true_triples(self) -> list[Triple]:
+        return [t for t, label in self.labels.items() if label]
+
+    def false_triples(self) -> list[Triple]:
+        return [t for t, label in self.labels.items() if not label]

@@ -1,0 +1,39 @@
+"""The extractor-correlation Kappa measure, Eq. (1) of the paper.
+
+For two extractors' triple sets ``T1, T2`` within an overall set ``KB``:
+
+    κ = (|T1 ∩ T2|·|KB| − |T1|·|T2|) / (|KB|² − |T1|·|T2|)
+
+"A positive Kappa measure indicates positive correlation; a negative one
+indicates negative correlation; and one close to 0 indicates independence."
+Figure 19 plots its distribution over all extractor pairs, split by whether
+the pair targets the same type of web content.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Hashable
+
+from repro.errors import EvaluationError
+
+__all__ = ["kappa"]
+
+
+def kappa(
+    t1: Collection[Hashable],
+    t2: Collection[Hashable],
+    universe: Collection[Hashable],
+) -> float:
+    """Eq. (1): correlation of two triple sets within ``universe``."""
+    set1, set2, kb = set(t1), set(t2), set(universe)
+    if not kb:
+        raise EvaluationError("kappa needs a non-empty universe")
+    if not set1 <= kb or not set2 <= kb:
+        raise EvaluationError("kappa operands must be subsets of the universe")
+    n1, n2, n_kb = len(set1), len(set2), len(kb)
+    denominator = n_kb * n_kb - n1 * n2
+    if denominator == 0:
+        # Both sets are the whole universe: perfectly correlated.
+        return 1.0
+    intersection = len(set1 & set2)
+    return (intersection * n_kb - n1 * n2) / denominator

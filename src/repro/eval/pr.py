@@ -1,0 +1,82 @@
+"""Precision-recall curves and AUC-PR (§4.2).
+
+"We order the triples in decreasing order of the predicted probability.
+As we gradually add new triples, we plot the precision versus the recall
+of the considered triples."  Ties in predicted probability are handled as
+one block (the curve gains a single point per distinct threshold), and the
+area is the trapezoid integral over recall — the standard treatment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EvaluationError
+from repro.kb.triples import Triple
+
+__all__ = ["PRCurve", "pr_curve", "auc_pr"]
+
+
+@dataclass(frozen=True)
+class PRCurve:
+    """Precision/recall points in threshold order (recall increasing)."""
+
+    recalls: tuple[float, ...]
+    precisions: tuple[float, ...]
+    n_true: int
+    n_labelled: int
+
+    def points(self) -> list[tuple[float, float]]:
+        return list(zip(self.recalls, self.precisions))
+
+    def auc(self) -> float:
+        return auc_pr(self)
+
+
+def pr_curve(
+    probabilities: dict[Triple, float], gold: dict[Triple, bool]
+) -> PRCurve:
+    """PR curve of ``probabilities`` against ``gold``."""
+    scored = [
+        (probability, gold[triple])
+        for triple, probability in probabilities.items()
+        if triple in gold
+    ]
+    if not scored:
+        raise EvaluationError("no labelled triples to build a PR curve from")
+    n_true = sum(1 for _p, label in scored if label)
+    if n_true == 0:
+        raise EvaluationError("no true triples in the gold standard slice")
+    scored.sort(key=lambda pair: -pair[0])
+
+    recalls: list[float] = []
+    precisions: list[float] = []
+    seen = 0
+    seen_true = 0
+    index = 0
+    while index < len(scored):
+        # Consume a whole tie-block at once.
+        threshold = scored[index][0]
+        while index < len(scored) and scored[index][0] == threshold:
+            seen += 1
+            seen_true += int(scored[index][1])
+            index += 1
+        recalls.append(seen_true / n_true)
+        precisions.append(seen_true / seen)
+    return PRCurve(
+        recalls=tuple(recalls),
+        precisions=tuple(precisions),
+        n_true=n_true,
+        n_labelled=len(scored),
+    )
+
+
+def auc_pr(curve: PRCurve) -> float:
+    """Trapezoid area under the PR curve (anchored at recall 0)."""
+    recalls = (0.0, *curve.recalls)
+    precisions = (curve.precisions[0], *curve.precisions)
+    area = 0.0
+    for i in range(1, len(recalls)):
+        width = recalls[i] - recalls[i - 1]
+        area += width * (precisions[i] + precisions[i - 1]) / 2.0
+    return area

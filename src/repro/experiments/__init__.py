@@ -1,0 +1,17 @@
+"""One experiment per table and figure of the paper.
+
+Every experiment is a function ``run(scenario) -> ExperimentResult`` with a
+rendered text report (the same rows/series the paper prints) and a
+structured ``data`` dict for programmatic checks.  The registry maps
+experiment ids (``table1`` … ``fig22``) to runners; the CLI and the
+benchmark suite both go through it.
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentResult,
+    experiment_ids,
+    run_experiment,
+)
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "experiment_ids", "run_experiment"]

@@ -1,0 +1,86 @@
+"""Shared helpers for experiment runners.
+
+The expensive artifacts — the five standard fusion runs — are cached *on
+the scenario object*, because many experiments consume the same runs
+(Figures 9, 13, 15, 16, 17 all look at POPACCU+ output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.scenario import Scenario
+from repro.eval.calibration import calibration_curve, deviation, weighted_deviation
+from repro.eval.pr import auc_pr, pr_curve
+from repro.fusion import (
+    FusionResult,
+    accu,
+    popaccu,
+    popaccu_plus,
+    popaccu_plus_unsup,
+    vote,
+)
+from repro.kb.triples import Triple
+
+__all__ = ["standard_fusion_results", "Metrics", "metrics_for", "unique_triple_accuracy"]
+
+_CACHE_ATTR = "_experiment_fusion_cache"
+
+STANDARD_METHODS = ("VOTE", "ACCU", "POPACCU", "POPACCU+(unsup)", "POPACCU+")
+
+
+def standard_fusion_results(scenario: Scenario) -> dict[str, FusionResult]:
+    """The five standard fusion runs, computed once per scenario."""
+    cache = getattr(scenario, _CACHE_ATTR, None)
+    if cache is not None:
+        return cache
+    fusion_input = scenario.fusion_input()
+    results = {}
+    for fuser in (
+        vote(),
+        accu(),
+        popaccu(),
+        popaccu_plus_unsup(),
+        popaccu_plus(scenario.gold),
+    ):
+        results[fuser.name] = fuser.fuse(fusion_input)
+    setattr(scenario, _CACHE_ATTR, results)
+    return results
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """The paper's three headline measures for one method."""
+
+    dev: float
+    wdev: float
+    auc_pr: float
+    coverage: float
+
+    def row(self) -> tuple[float, float, float]:
+        return (self.dev, self.wdev, self.auc_pr)
+
+
+def metrics_for(
+    probabilities: dict[Triple, float],
+    gold: dict[Triple, bool],
+    coverage: float = 1.0,
+) -> Metrics:
+    curve = calibration_curve(probabilities, gold)
+    pr = pr_curve(probabilities, gold)
+    return Metrics(
+        dev=deviation(curve),
+        wdev=weighted_deviation(curve),
+        auc_pr=auc_pr(pr),
+        coverage=coverage,
+    )
+
+
+def unique_triple_accuracy(
+    triples, gold: dict[Triple, bool]
+) -> tuple[int, float | None]:
+    """(#labelled, accuracy) over a set of unique triples."""
+    labelled = [gold[t] for t in triples if t in gold]
+    if not labelled:
+        return 0, None
+    return len(labelled), sum(labelled) / len(labelled)

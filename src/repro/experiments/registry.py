@@ -1,0 +1,135 @@
+"""Experiment registry: id → runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.datasets.scenario import Scenario
+from repro.errors import ExperimentError
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+def _load_runners() -> dict[str, Callable[[Scenario], ExperimentResult]]:
+    # Imported lazily to avoid a costly import cycle at package import.
+    from repro.experiments import (
+        table1,
+        table2,
+        table3,
+        fig3,
+        fig4,
+        fig5,
+        fig6,
+        fig7,
+        fig9,
+        fig10,
+        fig11,
+        fig12,
+        fig13,
+        fig14,
+        fig15,
+        fig16,
+        fig17,
+        fig18,
+        fig19,
+        fig20,
+        fig21,
+        fig22,
+    )
+
+    modules = (
+        table1,
+        table2,
+        table3,
+        fig3,
+        fig4,
+        fig5,
+        fig6,
+        fig7,
+        fig9,
+        fig10,
+        fig11,
+        fig12,
+        fig13,
+        fig14,
+        fig15,
+        fig16,
+        fig17,
+        fig18,
+        fig19,
+        fig20,
+        fig21,
+        fig22,
+    )
+    return {module.EXPERIMENT_ID: module.run for module in modules}
+
+
+_RUNNERS: dict[str, Callable[[Scenario], ExperimentResult]] | None = None
+
+
+def _runners() -> dict[str, Callable[[Scenario], ExperimentResult]]:
+    global _RUNNERS
+    if _RUNNERS is None:
+        _RUNNERS = _load_runners()
+    return _RUNNERS
+
+
+class _Registry:
+    """Mapping-like read-only view over the lazily-loaded runners."""
+
+    def __getitem__(self, experiment_id: str):
+        try:
+            return _runners()[experiment_id]
+        except KeyError:
+            raise ExperimentError(
+                f"unknown experiment {experiment_id!r}; "
+                f"available: {sorted(_runners())}"
+            ) from None
+
+    def __iter__(self):
+        return iter(_runners())
+
+    def __len__(self) -> int:
+        return len(_runners())
+
+    def __contains__(self, experiment_id: str) -> bool:
+        return experiment_id in _runners()
+
+    def items(self):
+        return _runners().items()
+
+    def keys(self):
+        return _runners().keys()
+
+
+EXPERIMENTS = _Registry()
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, tables first then figures in order."""
+
+    def sort_key(experiment_id: str) -> tuple[int, int]:
+        if experiment_id.startswith("table"):
+            return (0, int(experiment_id.removeprefix("table")))
+        return (1, int(experiment_id.removeprefix("fig")))
+
+    return sorted(_runners(), key=sort_key)
+
+
+def run_experiment(experiment_id: str, scenario: Scenario) -> ExperimentResult:
+    """Run one experiment against ``scenario``."""
+    return EXPERIMENTS[experiment_id](scenario)

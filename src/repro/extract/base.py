@@ -1,0 +1,322 @@
+"""Extractor base class and behaviour profile.
+
+Every concrete extractor (text, DOM, table, annotation) is parameterised by
+an :class:`ExtractorProfile` — the knob set that makes TXT1 differ from
+TXT4 without duplicating parser code.  The paper's Table 2 spread (accuracy
+0.09-0.78, volumes over 3 orders of magnitude) is reproduced by profile
+values in :mod:`repro.datasets.profiles`, not by separate implementations.
+
+Determinism: whether an extractor processes a page, and every noisy choice
+it makes on that page, derive from ``split_seed(seed, extractor, url)`` —
+so corpus-level extraction is reproducible and insensitive to page order.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.extract.confidence import ConfidenceModel, make_confidence_model
+from repro.extract.linkage import EntityLinker
+from repro.extract.records import ExtractionDebug, ExtractionRecord
+from repro.kb.schema import Predicate, Schema, ValueKind
+from repro.kb.triples import Triple
+from repro.kb.values import EntityRef, StringValue, Value
+from repro.rng import split_seed
+from repro.world.content import Mention
+from repro.world.literals import parse_literal, parse_literal_naive
+from repro.world.webgen import WebCorpus, WebPage
+
+__all__ = ["ExtractorProfile", "Extractor"]
+
+_KIND_OF_VALUEKIND = {
+    ValueKind.ENTITY: "entity",
+    ValueKind.STRING: "string",
+    ValueKind.NUMBER: "number",
+    ValueKind.DATE: "date",
+}
+
+
+@dataclass(frozen=True)
+class ExtractorProfile:
+    """Behavioural knobs for one extractor.
+
+    Attributes
+    ----------
+    name / content_types / site_categories / page_coverage:
+        Identity, which content it parses, which site categories it runs on
+        (None = all), and the fraction of eligible pages it processes —
+        jointly controlling extraction volume (Table 2's #Triples spread).
+    linker / use_type_hints:
+        Which shared linkage component to use, and whether the extractor
+        passes the predicate's object type as a disambiguation hint.
+    kind_checking:
+        Whether it skips mentions whose value kind contradicts the
+        predicate (a precision feature).
+    handles_merged:
+        Whether it understands merged structures (DOM "Born" rows, merged
+        sentences); if not, it flattens them — triple-identification errors.
+    naive_dates:
+        Whether it parses dates with the naive month-first rule.
+    string_fallback:
+        Whether an unlinkable entity mention is emitted as a raw string
+        (the paper's 80M raw-string objects) instead of skipped.
+    pattern_coverage / wrong_predicate_rate / reliability_mean /
+    reliability_concentration:
+        Pattern-library shape (text and patterned DOM extractors): what
+        fraction of phrasings it has patterns for, how often a pattern maps
+        to a wrong (confusable) predicate, and the Beta distribution of
+        pattern reliability.
+    mangle_rate:
+        Extra mechanical span corruption (truncating a mention before
+        linking), scaled by (1 - pattern reliability).
+    misgrab_rate:
+        Probability (scaled by 1 - reliability) of associating the *wrong
+        mention* on the element with the predicate — the bread-and-butter
+        triple-identification error ("taking part of the album name as the
+        artist for the album"): the data item stays valid, the object comes
+        from a different fact, so LCWA labels the result false.
+    confidence:
+        Confidence-model name (see :mod:`repro.extract.confidence`).
+    global_label_map:
+        DOM: resolve row labels without knowing the subject's type
+        (cross-type label collisions become predicate-linkage errors).
+    value_kinds:
+        Restrict extraction to these value kinds (DOM3 links entities only,
+        DOM4 scrapes literals only); None = all kinds.
+    detect_subject_col / type_aware_headers:
+        Table extractors: detect the subject column by linkability instead
+        of assuming column 0, and resolve ambiguous headers using the
+        rows' entity type.
+    """
+
+    name: str
+    content_types: tuple[str, ...]
+    site_categories: tuple[str, ...] | None = None
+    page_coverage: float = 1.0
+    linker: str = "EL-A"
+    use_type_hints: bool = False
+    kind_checking: bool = False
+    handles_merged: bool = False
+    naive_dates: bool = False
+    string_fallback: bool = True
+    pattern_coverage: float = 1.0
+    wrong_predicate_rate: float = 0.0
+    reliability_mean: float = 0.8
+    reliability_concentration: float = 10.0
+    mangle_rate: float = 0.0
+    misgrab_rate: float = 0.0
+    confidence: str = "calibrated"
+    global_label_map: bool = False
+    value_kinds: tuple[str, ...] | None = None
+    detect_subject_col: bool = False
+    type_aware_headers: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.content_types:
+            raise ConfigError(f"extractor {self.name} handles no content types")
+        unknown = set(self.content_types) - {"TXT", "DOM", "TBL", "ANO"}
+        if unknown:
+            raise ConfigError(f"extractor {self.name}: unknown content {unknown}")
+        for field_name in (
+            "page_coverage",
+            "pattern_coverage",
+            "wrong_predicate_rate",
+            "reliability_mean",
+            "mangle_rate",
+            "misgrab_rate",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(
+                    f"extractor {self.name}: {field_name} must be in [0,1], got {value}"
+                )
+
+
+class Extractor(abc.ABC):
+    """Base class: page eligibility, linking, parsing, record emission."""
+
+    def __init__(
+        self,
+        profile: ExtractorProfile,
+        schema: Schema,
+        linker: EntityLinker,
+        seed: int,
+    ) -> None:
+        self.profile = profile
+        self.schema = schema
+        self.linker = linker
+        self.seed = seed
+        self.confidence_model: ConfidenceModel | None = make_confidence_model(
+            profile.confidence
+        )
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    # ------------------------------------------------------------------
+    # Page eligibility
+    # ------------------------------------------------------------------
+    def covers(self, page: WebPage) -> bool:
+        """Deterministically decide whether this extractor processes ``page``."""
+        profile = self.profile
+        if profile.site_categories is not None and page.category not in profile.site_categories:
+            return False
+        if profile.page_coverage >= 1.0:
+            return True
+        draw = split_seed(self.seed, "coverage", self.name, page.url) % 1_000_000
+        return draw / 1_000_000.0 < profile.page_coverage
+
+    def page_rng(self, url: str) -> np.random.Generator:
+        return np.random.default_rng(split_seed(self.seed, "extract", self.name, url))
+
+    # ------------------------------------------------------------------
+    # Linking and parsing
+    # ------------------------------------------------------------------
+    def link_entity(self, mention: Mention, predicate: Predicate | None) -> str | None:
+        """Resolve an entity mention, honouring the type-hint knob."""
+        hint = None
+        if self.profile.use_type_hints and predicate is not None:
+            hint = predicate.object_type_id
+        return self.linker.resolve(mention.surface, type_hint=hint)
+
+    def link_subject(self, mention: Mention, type_hint: str | None = None) -> str | None:
+        hint = type_hint if self.profile.use_type_hints else None
+        return self.linker.resolve(mention.surface, type_hint=hint)
+
+    def parse_value(self, surface: str, kind: str) -> Value | None:
+        if self.profile.naive_dates:
+            return parse_literal_naive(surface, kind)
+        return parse_literal(surface, kind)
+
+    # ------------------------------------------------------------------
+    # Record emission
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        page: WebPage,
+        subject_id: str,
+        predicate: Predicate,
+        mention: Mention,
+        rng: np.random.Generator,
+        pattern: str | None,
+        reliability: float,
+        structure_penalty: float = 1.0,
+        slot_mismatch: bool = False,
+        alternates: tuple[Mention, ...] = (),
+    ) -> ExtractionRecord | None:
+        """Turn one (subject, predicate, object-mention) into a record.
+
+        Returns None when the extractor's checks reject the mention.
+        Applies misgrab (wrong-mention association against ``alternates``),
+        kind checking, entity linkage (with string fallback), literal
+        parsing, span mangling, and the confidence model.
+        """
+        profile = self.profile
+        if (
+            alternates
+            and profile.misgrab_rate > 0
+            and rng.random() < profile.misgrab_rate * (1.0 - reliability)
+        ):
+            pool = [m for m in alternates if m.kind != "empty" and m is not mention]
+            if pool:
+                mention = pool[int(rng.integers(len(pool)))]
+                slot_mismatch = True
+                structure_penalty *= 0.8
+        if mention.kind == "empty":
+            return None
+        if profile.value_kinds is not None and mention.kind not in profile.value_kinds:
+            return None
+        expected_kind = _KIND_OF_VALUEKIND[predicate.value_kind]
+        if profile.kind_checking and mention.kind != expected_kind:
+            return None
+
+        span_corrupted = False
+        surface = mention.surface
+        if (
+            profile.mangle_rate > 0
+            and rng.random() < profile.mangle_rate * (1.0 - reliability)
+            and " " in surface
+        ):
+            # Span error: keep only the last token ("Mapother IV" style).
+            surface = surface.rsplit(" ", 1)[-1]
+            span_corrupted = True
+
+        ambiguity = 1
+        value: Value | None
+        if mention.kind == "entity":
+            ambiguity = max(1, self.linker.ambiguity(surface))
+            linked = self.linker.resolve(
+                surface,
+                type_hint=(
+                    predicate.object_type_id if profile.use_type_hints else None
+                ),
+            )
+            if linked is not None:
+                value = EntityRef(linked)
+            elif profile.string_fallback and not profile.kind_checking:
+                value = StringValue(surface)
+            elif profile.string_fallback and expected_kind == "string":
+                value = StringValue(surface)
+            else:
+                return None
+        else:
+            value = self.parse_value(surface, mention.kind)
+            if value is None:
+                return None
+
+        signal = (
+            reliability
+            * structure_penalty
+            * (1.0 / np.sqrt(ambiguity))
+        )
+        confidence = None
+        if self.confidence_model is not None:
+            confidence = self.confidence_model.transform(float(signal), rng)
+
+        return ExtractionRecord(
+            triple=Triple(subject_id, predicate.pid, value),
+            extractor=self.name,
+            url=page.url,
+            site=page.site,
+            content_type=self.record_content_type,
+            pattern=pattern,
+            confidence=confidence,
+            debug=ExtractionDebug(
+                asserted_index=mention.fact_ref,
+                span_corrupted=span_corrupted,
+                slot_mismatch=slot_mismatch,
+            ),
+        )
+
+    # Subclasses set this to the content type their records carry.
+    record_content_type: str = "TXT"
+
+    # ------------------------------------------------------------------
+    # Extraction API
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def extract_page(self, page: WebPage) -> list[ExtractionRecord]:
+        """All records this extractor produces from ``page``."""
+
+    def extract_corpus(self, corpus: WebCorpus) -> list[ExtractionRecord]:
+        """Extraction over every covered page of ``corpus``."""
+        records: list[ExtractionRecord] = []
+        for page in corpus.pages:
+            if self.covers(page):
+                records.extend(self.extract_page(page))
+        return records
+
+    def reliability_for(self, key: str) -> float:
+        """Deterministic per-(extractor, key) reliability draw from the
+        profile's Beta distribution; ``key`` is a pattern/label identity."""
+        mean = self.profile.reliability_mean
+        conc = self.profile.reliability_concentration
+        alpha = max(mean * conc, 1e-3)
+        beta = max((1.0 - mean) * conc, 1e-3)
+        rng = np.random.default_rng(split_seed(self.seed, "rel", self.name, key))
+        return float(rng.beta(alpha, beta))

@@ -1,0 +1,128 @@
+"""Per-extractor confidence models.
+
+Extractors attach a confidence to each record, computed from a *raw
+signal* — pattern reliability × linkage certainty × structural cleanliness
+— that genuinely correlates with correctness.  What differs per extractor
+is how that signal is *reported*, reproducing the four behaviours of
+Figure 21:
+
+- ``calibrated``: reports the signal with mild noise (DOM2-like when
+  sharpened; TXT2-like); accuracy tracks confidence;
+- ``extreme``: pushes reports toward 0/1 (DOM2, ANO "tend to assign
+  confidence close to 0 or 1");
+- ``centered``: compresses reports toward 0.5 (TXT1);
+- ``peaked``: *miscalibrated* — reports are highest for mid-signal records
+  (TBL1, whose accuracy peaks at medium confidence);
+- ``uninformative``: reports extreme values uncorrelated with the signal
+  (ANO: "the accuracy of the triples stays similar when the confidence
+  increases");
+- ``none``: no confidence at all (DOM5, TBL2 in Table 2).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ConfidenceModel", "make_confidence_model"]
+
+
+def _clip(x: float) -> float:
+    return float(min(1.0, max(0.0, x)))
+
+
+class ConfidenceModel(abc.ABC):
+    """Transforms a raw correctness signal into a reported confidence."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def transform(self, signal: float, rng: np.random.Generator) -> float | None:
+        """Reported confidence for a record with raw ``signal`` in [0, 1]."""
+
+
+@dataclass
+class CalibratedConfidence(ConfidenceModel):
+    """Reports the signal plus mild noise."""
+
+    noise: float = 0.08
+    name: str = "calibrated"
+
+    def transform(self, signal: float, rng: np.random.Generator) -> float:
+        return _clip(signal + float(rng.normal(0.0, self.noise)))
+
+
+@dataclass
+class ExtremeConfidence(ConfidenceModel):
+    """Pushes reports toward the extremes (sharpening)."""
+
+    sharpness: float = 3.0
+    noise: float = 0.05
+    name: str = "extreme"
+
+    def transform(self, signal: float, rng: np.random.Generator) -> float:
+        noisy = _clip(signal + float(rng.normal(0.0, self.noise)))
+        # Logistic sharpening around 0.5.
+        centered = (noisy - 0.5) * self.sharpness
+        return _clip(0.5 + 0.5 * float(np.tanh(centered)))
+
+
+@dataclass
+class CenteredConfidence(ConfidenceModel):
+    """Compresses reports toward 0.5 (weakly informative)."""
+
+    compression: float = 0.35
+    noise: float = 0.06
+    name: str = "centered"
+
+    def transform(self, signal: float, rng: np.random.Generator) -> float:
+        noisy = _clip(signal + float(rng.normal(0.0, self.noise)))
+        return _clip(0.5 + (noisy - 0.5) * self.compression)
+
+
+@dataclass
+class PeakedConfidence(ConfidenceModel):
+    """Miscalibrated: highest reports for *mid*-signal records (TBL-style)."""
+
+    noise: float = 0.07
+    name: str = "peaked"
+
+    def transform(self, signal: float, rng: np.random.Generator) -> float:
+        # Records the extractor is most sure of get medium reports, and
+        # vice versa: reported = 1 - |signal - 0.5| * 2 folded around 0.55.
+        folded = 1.0 - abs(signal - 0.55) * 1.6
+        return _clip(folded + float(rng.normal(0.0, self.noise)))
+
+
+@dataclass
+class UninformativeConfidence(ConfidenceModel):
+    """Extreme reports uncorrelated with the signal."""
+
+    name: str = "uninformative"
+
+    def transform(self, signal: float, rng: np.random.Generator) -> float:
+        return float(rng.beta(0.4, 0.4))
+
+
+_MODELS = {
+    "calibrated": CalibratedConfidence,
+    "extreme": ExtremeConfidence,
+    "centered": CenteredConfidence,
+    "peaked": PeakedConfidence,
+    "uninformative": UninformativeConfidence,
+}
+
+
+def make_confidence_model(name: str) -> ConfidenceModel | None:
+    """Instantiate a confidence model by name; ``"none"`` returns None."""
+    if name == "none":
+        return None
+    try:
+        return _MODELS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown confidence model {name!r}; choose from "
+            f"{sorted(_MODELS)} or 'none'"
+        ) from None

@@ -1,0 +1,238 @@
+"""DOM extractors (DOM1-5): infobox row parsing.
+
+A DOM extractor maps a row label ("Born", "Director") to a predicate.
+Good extractors resolve labels *per subject type* (they know, post-linkage,
+that the subject is a film); cheap ones use a single global label map, so
+cross-type label collisions ("Headquarters", "Publisher") become
+predicate-linkage errors.  Merged rows (the Wikipedia ``Born`` row packing
+name, date and place) are flattened by extractors without merged-row
+handling — every cell lands on the label's one predicate, the paper's
+flagship triple-identification error.
+
+DOM extractors whose profile includes the TBL content type also process web
+tables the way a tree-walker would ("an extractor targeted at DOM can also
+extract from TBL since Web tables are in DOM-tree format"): each header
+becomes a row label — which is exactly how the small TBL/DOM triple
+overlap of Figure 3 arises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.extract.base import Extractor, ExtractorProfile
+from repro.extract.linkage import EntityLinker
+from repro.extract.records import ExtractionRecord
+from repro.kb.schema import Schema
+from repro.rng import split_seed
+from repro.world.content import DomRow, DomTree, Mention, WebTable
+from repro.world.labels import dom_label, tbl_header
+from repro.world.webgen import WebPage
+
+__all__ = ["DomExtractor"]
+
+
+class DomExtractor(Extractor):
+    """Row-label driven extraction from DOM trees (and optionally tables)."""
+
+    record_content_type = "DOM"
+
+    def __init__(
+        self,
+        profile: ExtractorProfile,
+        schema: Schema,
+        linker: EntityLinker,
+        seed: int,
+        patterned: bool = False,
+    ) -> None:
+        super().__init__(profile, schema, linker, seed)
+        self.patterned = patterned
+        # Per-type label maps: (type_id, label) -> pid.
+        self._typed_map: dict[tuple[str, str], str] = {}
+        # Global label map: label -> pid; collisions resolved by pid order,
+        # which is precisely where a global map goes wrong.
+        self._global_map: dict[str, str] = {}
+        for pid in sorted(schema.predicates):
+            predicate = schema.predicates[pid]
+            label = dom_label(pid)
+            self._typed_map.setdefault((predicate.type_id, label), pid)
+            self._global_map.setdefault(label, pid)
+            header = tbl_header(pid)
+            self._typed_map.setdefault((predicate.type_id, header), pid)
+            self._global_map.setdefault(header, pid)
+
+    @property
+    def n_patterns(self) -> int | None:
+        """Patterned DOM extractors report a library size (Table 2)."""
+        if not self.patterned:
+            return None
+        return len(self._typed_map)
+
+    # ------------------------------------------------------------------
+    def _resolve_label(self, label: str, subject_type: str | None) -> str | None:
+        """Label -> predicate id, honouring the global-map knob and the
+        wrong-predicate corruption rate."""
+        if self.profile.global_label_map or subject_type is None:
+            pid = self._global_map.get(label)
+        else:
+            pid = self._typed_map.get((subject_type, label))
+            if pid is None:
+                pid = self._global_map.get(label)
+        if pid is None:
+            return None
+        if self.profile.wrong_predicate_rate > 0:
+            draw = (
+                split_seed(self.seed, "domwrong", self.name, subject_type or "-", label)
+                % 1_000_000
+            ) / 1_000_000.0
+            if draw < self.profile.wrong_predicate_rate:
+                predicate = self.schema.predicates[pid]
+                if predicate.confusable_with is not None:
+                    return predicate.confusable_with
+                siblings = [
+                    p.pid
+                    for p in self.schema.predicates_of_type(predicate.type_id)
+                    if p.pid != pid
+                ]
+                if siblings:
+                    index = split_seed(self.seed, "domsib", self.name, label) % len(
+                        siblings
+                    )
+                    return siblings[index]
+        return pid
+
+    def _pattern_id(self, subject_type: str | None, label: str) -> str | None:
+        if not self.patterned:
+            return None
+        return f"{self.name}:{subject_type or 'any'}:{label}"
+
+    # ------------------------------------------------------------------
+    def extract_page(self, page: WebPage) -> list[ExtractionRecord]:
+        rng = self.page_rng(page.url)
+        records: list[ExtractionRecord] = []
+        for element in page.elements:
+            if isinstance(element, DomTree):
+                records.extend(self._extract_tree(page, element, rng))
+            elif isinstance(element, WebTable) and "TBL" in self.profile.content_types:
+                records.extend(self._extract_table_as_dom(page, element, rng))
+        return records
+
+    def _extract_tree(
+        self, page: WebPage, tree: DomTree, rng: np.random.Generator
+    ) -> list[ExtractionRecord]:
+        subject_id = self.link_subject(tree.subject)
+        if subject_id is None:
+            return []
+        subject_type = self.linker.registry.get(subject_id).primary_type
+        pool = tuple(cell for row in tree.rows for cell in row.cells)
+        records: list[ExtractionRecord] = []
+        for row in tree.rows:
+            records.extend(
+                self._extract_row(page, subject_id, subject_type, row, pool, rng)
+            )
+        return records
+
+    def _extract_row(
+        self,
+        page: WebPage,
+        subject_id: str,
+        subject_type: str,
+        row: DomRow,
+        pool: tuple[Mention, ...],
+        rng: np.random.Generator,
+    ) -> list[ExtractionRecord]:
+        records: list[ExtractionRecord] = []
+        if row.merged and self.profile.handles_merged:
+            # Understands the nested structure: route each cell to the
+            # right predicate by sub-label (when rendered) or value kind.
+            for index, cell in enumerate(row.cells):
+                sub = (
+                    row.cell_labels[index]
+                    if row.cell_labels is not None
+                    else {"date": "date", "entity": "place"}.get(cell.kind)
+                )
+                if sub == "date":
+                    pid = self._typed_map.get((subject_type, "Born"))
+                elif sub == "place":
+                    pid = self._typed_map.get((subject_type, "Birthplace"))
+                else:
+                    continue  # the name cell — correctly skipped
+                if pid is None:
+                    continue
+                predicate = self.schema.predicates[pid]
+                record = self.emit(
+                    page=page,
+                    subject_id=subject_id,
+                    predicate=predicate,
+                    mention=cell,
+                    rng=rng,
+                    pattern=self._pattern_id(subject_type, row.label),
+                    reliability=self.reliability_for(f"{subject_type}:{row.label}"),
+                )
+                if record is not None:
+                    records.append(record)
+            return records
+
+        pid = self._resolve_label(row.label, subject_type)
+        if pid is None:
+            return records
+        predicate = self.schema.predicates.get(pid)
+        if predicate is None:
+            return records
+        reliability = self.reliability_for(f"{subject_type}:{row.label}")
+        structure_penalty = 0.55 if row.merged else 1.0
+        for cell in row.cells:
+            record = self.emit(
+                page=page,
+                subject_id=subject_id,
+                predicate=predicate,
+                mention=cell,
+                rng=rng,
+                pattern=self._pattern_id(subject_type, row.label),
+                reliability=reliability,
+                structure_penalty=structure_penalty,
+                slot_mismatch=row.merged,
+                alternates=pool,
+            )
+            if record is not None:
+                records.append(record)
+        return records
+
+    # ------------------------------------------------------------------
+    def _extract_table_as_dom(
+        self, page: WebPage, table: WebTable, rng: np.random.Generator
+    ) -> list[ExtractionRecord]:
+        """Walk a table the way a generic tree-walker would: assume the
+        first column is the subject and headers are row labels."""
+        records: list[ExtractionRecord] = []
+        for row in table.rows:
+            if not row:
+                continue
+            subject_mention = row[0]
+            if subject_mention.kind != "entity":
+                continue
+            subject_id = self.link_subject(subject_mention)
+            if subject_id is None:
+                continue
+            subject_type = self.linker.registry.get(subject_id).primary_type
+            row_pool = tuple(row[1:])
+            for column in range(1, min(len(row), len(table.headers))):
+                pid = self._resolve_label(table.headers[column], subject_type)
+                if pid is None:
+                    continue
+                predicate = self.schema.predicates.get(pid)
+                if predicate is None:
+                    continue
+                record = self.emit(
+                    page=page,
+                    subject_id=subject_id,
+                    predicate=predicate,
+                    mention=row[column],
+                    rng=rng,
+                    pattern=self._pattern_id(subject_type, table.headers[column]),
+                    reliability=self.reliability_for(f"tbl:{table.headers[column]}"),
+                    alternates=row_pool,
+                )
+                if record is not None:
+                    records.append(record)
+        return records

@@ -1,0 +1,119 @@
+"""Extraction pipeline: run extractors, classify injected errors.
+
+The pipeline drives every extractor over every page it covers and then
+fills each record's debug channel by comparing the extracted triple with
+the page's hidden assertion it came from:
+
+1. fabricated mention (no assertion behind it) → triple identification;
+2. extractor corrupted the span before linking → triple identification;
+3. exact match with the assertion → no extraction error (the record may
+   still carry the *source's* error);
+4. mention taken from a structural slot of a different predicate
+   (merged-row/merged-sentence flattening) → triple identification;
+5. same structure, different predicate → predicate linkage;
+6. otherwise (subject or object resolved to the wrong entity, or an
+   unlinkable mention emitted as a raw string) → entity linkage.
+
+Fusion never sees these tags; the test suite checks that stripping the
+debug channel does not change fusion output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ExtractionError
+from repro.extract.annotation import AnnotationExtractor
+from repro.extract.base import Extractor, ExtractorProfile
+from repro.extract.dom import DomExtractor
+from repro.extract.linkage import EntityLinker
+from repro.extract.records import ErrorKind, ExtractionDebug, ExtractionRecord
+from repro.extract.table import TableExtractor
+from repro.extract.text import TextExtractor
+from repro.kb.schema import Schema
+from repro.world.labels import TemplateSpec
+from repro.world.webgen import WebCorpus, WebPage
+
+__all__ = ["build_extractor", "ExtractionPipeline"]
+
+
+def build_extractor(
+    profile: ExtractorProfile,
+    schema: Schema,
+    linker: EntityLinker,
+    templates: dict[str, TemplateSpec],
+    seed: int,
+) -> Extractor:
+    """Instantiate the right extractor class for ``profile``.
+
+    The primary (first) content type selects the parser family; DOM
+    extractors whose profile also lists TBL will walk tables as trees.
+    """
+    primary = profile.content_types[0]
+    if primary == "TXT":
+        return TextExtractor(profile, schema, linker, templates, seed)
+    if primary == "DOM":
+        # DOM1 is the paper's one patterned DOM extractor (25.7M patterns).
+        patterned = profile.name.endswith("1")
+        return DomExtractor(profile, schema, linker, seed, patterned=patterned)
+    if primary == "TBL":
+        return TableExtractor(profile, schema, linker, seed)
+    if primary == "ANO":
+        return AnnotationExtractor(profile, schema, linker, seed)
+    raise ExtractionError(f"no extractor family for content type {primary!r}")
+
+
+def classify_record(record: ExtractionRecord, page: WebPage) -> ExtractionRecord:
+    """Fill ``record.debug`` with the injected-error classification."""
+    debug = record.debug
+    if debug is None:
+        raise ExtractionError(
+            f"record from {record.extractor} lacks a debug channel; "
+            "was it stripped before classification?"
+        )
+    if debug.asserted_index is None:
+        new = replace(
+            debug, error_kind=ErrorKind.TRIPLE_IDENTIFICATION, source_error=False
+        )
+        return replace(record, debug=new)
+    asserted = page.assertions[debug.asserted_index]
+    if debug.span_corrupted:
+        kind: ErrorKind | None = ErrorKind.TRIPLE_IDENTIFICATION
+    elif record.triple == asserted.triple:
+        kind = None
+    elif debug.slot_mismatch:
+        kind = ErrorKind.TRIPLE_IDENTIFICATION
+    elif record.triple.predicate != asserted.triple.predicate:
+        kind = ErrorKind.PREDICATE_LINKAGE
+    else:
+        kind = ErrorKind.ENTITY_LINKAGE
+    new = replace(
+        debug,
+        error_kind=kind,
+        source_error=(kind is None and asserted.source_error),
+    )
+    return replace(record, debug=new)
+
+
+@dataclass
+class ExtractionPipeline:
+    """Runs a fleet of extractors over a corpus."""
+
+    extractors: list[Extractor]
+
+    def run(self, corpus: WebCorpus) -> list[ExtractionRecord]:
+        """All classified extraction records, page-major then extractor-major."""
+        records: list[ExtractionRecord] = []
+        for page in corpus.pages:
+            for extractor in self.extractors:
+                if not extractor.covers(page):
+                    continue
+                for record in extractor.extract_page(page):
+                    records.append(classify_record(record, page))
+        return records
+
+    def by_name(self, name: str) -> Extractor:
+        for extractor in self.extractors:
+            if extractor.name == name:
+                return extractor
+        raise ExtractionError(f"no extractor named {name!r}")

@@ -1,0 +1,89 @@
+"""Extraction records and their debug channel.
+
+An :class:`ExtractionRecord` is one cell of the paper's three-dimensional
+input: what one extractor extracted from one URL for one data item —
+together with the rich provenance the paper keeps (extractor, URL, pattern,
+confidence).
+
+``debug`` is ground truth for *analysis only*: which hidden page assertion
+the record came from and what kind of extraction error (if any) it embodies.
+The fusion layer works from the record's public fields; the test suite
+checks that fusion results are invariant to stripping the debug channel.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.kb.triples import Triple
+
+__all__ = ["ErrorKind", "ExtractionDebug", "ExtractionRecord"]
+
+
+class ErrorKind(enum.Enum):
+    """The paper's three extraction-error classes (§3.2.1)."""
+
+    TRIPLE_IDENTIFICATION = "triple_identification"
+    ENTITY_LINKAGE = "entity_linkage"
+    PREDICATE_LINKAGE = "predicate_linkage"
+
+
+@dataclass(frozen=True, slots=True)
+class ExtractionDebug:
+    """Analysis-only ground truth attached to a record.
+
+    ``asserted_index`` points into the source page's hidden assertion list
+    (None when the record was fabricated from a non-fact mention, e.g. a
+    name cell in a merged DOM row).  ``error_kind`` is None when the record
+    faithfully reproduces the page's claim; ``source_error`` is True when
+    that claim itself was wrong in the world.
+
+    ``span_corrupted`` (the extractor truncated the mention before linking)
+    and ``slot_mismatch`` (the mention was taken from a structural slot
+    whose declared predicate differs from the emitted one — merged-row
+    flattening) are mechanism flags set at extraction time; the pipeline
+    uses them to classify ``error_kind``.
+    """
+
+    asserted_index: int | None
+    error_kind: ErrorKind | None = None
+    source_error: bool = False
+    span_corrupted: bool = False
+    slot_mismatch: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class ExtractionRecord:
+    """One (triple, provenance) observation.
+
+    ``pattern`` is the extractor-internal pattern id that produced the
+    record (None for pattern-free extractors, cf. Table 2); ``confidence``
+    is the extractor's self-reported confidence (None for extractors that
+    do not emit one).
+    """
+
+    triple: Triple
+    extractor: str
+    url: str
+    site: str
+    content_type: str
+    pattern: str | None = None
+    confidence: float | None = None
+    debug: ExtractionDebug | None = None
+
+    def without_debug(self) -> "ExtractionRecord":
+        """A copy with the debug channel stripped (public view)."""
+        if self.debug is None:
+            return self
+        return replace(self, debug=None)
+
+    @property
+    def is_extraction_error(self) -> bool:
+        """Analysis helper; requires the debug channel."""
+        return self.debug is not None and self.debug.error_kind is not None
+
+    @property
+    def is_source_error(self) -> bool:
+        """Analysis helper; requires the debug channel."""
+        return self.debug is not None and self.debug.source_error

@@ -1,0 +1,127 @@
+"""Web-table extractors (TBL1-2): schema mapping over relational tables.
+
+The two extractors embody the two classic schema-mapping strategies:
+
+- **TBL1** (header-based, naive): assumes the subject is column 0 and
+  resolves each header to the alphabetically-first candidate predicate —
+  wrong whenever a header like "Year" is ambiguous across types, and blind
+  on tables whose first column is a row number;
+- **TBL2** (value-based, type-aware): detects the subject column by how
+  many of its cells *link* to entities, infers the table's subject type
+  from the linked rows, and resolves headers within that type — the
+  state-of-the-art mapping of the paper's [1] at toy scale.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.extract.base import Extractor
+from repro.extract.records import ExtractionRecord
+from repro.world.content import WebTable
+from repro.world.labels import header_candidates
+from repro.world.webgen import WebPage
+
+__all__ = ["TableExtractor"]
+
+
+class TableExtractor(Extractor):
+    """Relational extraction from web tables."""
+
+    record_content_type = "TBL"
+
+    # ------------------------------------------------------------------
+    def _subject_column(self, table: WebTable) -> int:
+        if not self.profile.detect_subject_col:
+            return 0
+        best_col, best_hits = 0, -1
+        n_cols = len(table.headers)
+        for col in range(n_cols):
+            hits = 0
+            for row in table.rows:
+                if col < len(row) and row[col].kind == "entity":
+                    if self.linker.resolve(row[col].surface) is not None:
+                        hits += 1
+            if hits > best_hits:
+                best_col, best_hits = col, hits
+        return best_col
+
+    def _majority_type(self, table: WebTable, subject_col: int) -> str | None:
+        counts: Counter[str] = Counter()
+        for row in table.rows:
+            if subject_col >= len(row) or row[subject_col].kind != "entity":
+                continue
+            linked = self.linker.resolve(row[subject_col].surface)
+            if linked is not None:
+                counts[self.linker.registry.get(linked).primary_type] += 1
+        if not counts:
+            return None
+        return counts.most_common(1)[0][0]
+
+    def _map_header(self, header: str, subject_type: str | None) -> str | None:
+        candidates = header_candidates(self.schema, header)
+        if not candidates:
+            return None
+        if self.profile.type_aware_headers and subject_type is not None:
+            typed = [
+                pid
+                for pid in candidates
+                if self.schema.predicates[pid].type_id == subject_type
+            ]
+            if typed:
+                return typed[0]
+            return None  # a careful mapper abstains rather than guessing
+        return candidates[0]  # naive: global first candidate
+
+    # ------------------------------------------------------------------
+    def extract_page(self, page: WebPage) -> list[ExtractionRecord]:
+        rng = self.page_rng(page.url)
+        records: list[ExtractionRecord] = []
+        for element in page.elements:
+            if isinstance(element, WebTable):
+                records.extend(self._extract_table(page, element, rng))
+        return records
+
+    def _extract_table(
+        self, page: WebPage, table: WebTable, rng: np.random.Generator
+    ) -> list[ExtractionRecord]:
+        subject_col = self._subject_column(table)
+        subject_type = self._majority_type(table, subject_col)
+        column_pids: dict[int, str] = {}
+        for col, header in enumerate(table.headers):
+            if col == subject_col:
+                continue
+            pid = self._map_header(header, subject_type)
+            if pid is not None:
+                column_pids[col] = pid
+        records: list[ExtractionRecord] = []
+        for row in table.rows:
+            if subject_col >= len(row) or row[subject_col].kind != "entity":
+                continue
+            subject_id = self.link_subject(row[subject_col], type_hint=subject_type)
+            if subject_id is None:
+                continue
+            row_pool = tuple(
+                cell for col, cell in enumerate(row) if col != subject_col
+            )
+            for col, pid in column_pids.items():
+                if col >= len(row):
+                    continue
+                predicate = self.schema.predicates.get(pid)
+                if predicate is None:
+                    continue
+                record = self.emit(
+                    page=page,
+                    subject_id=subject_id,
+                    predicate=predicate,
+                    mention=row[col],
+                    rng=rng,
+                    pattern=None,
+                    reliability=self.reliability_for(f"hdr:{table.headers[col]}"),
+                    alternates=row_pool,
+                )
+                if record is not None:
+                    records.append(record)
+        return records

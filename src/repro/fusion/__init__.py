@@ -1,0 +1,48 @@
+"""Knowledge fusion: the paper's core contribution.
+
+Given extraction records (triple + provenance), compute for every unique
+triple a calibrated probability of being true.  Three fusers are provided —
+:class:`~repro.fusion.vote.Vote`, :class:`~repro.fusion.accu.Accu` and
+:class:`~repro.fusion.popaccu.PopAccu` — plus the paper's refinements
+(provenance granularity, coverage/accuracy filtering, gold-standard
+initialisation) and the ``POPACCU+`` presets that combine them.
+
+The 3-D knowledge-fusion input is flattened to 2-D by treating a
+*provenance* (``(Extractor, URL)`` by default) as a data-fusion source;
+:class:`~repro.fusion.provenance.Granularity` selects the paper's
+alternative flattenings.
+"""
+
+from repro.fusion.provenance import Granularity, provenance_key
+from repro.fusion.observations import Claim, FusionInput
+from repro.fusion.base import Fuser, FusionConfig, FusionResult
+from repro.fusion.vote import Vote
+from repro.fusion.accu import Accu, accu_item_posteriors
+from repro.fusion.popaccu import PopAccu, popaccu_item_posteriors
+from repro.fusion.presets import (
+    vote,
+    accu,
+    popaccu,
+    popaccu_plus_unsup,
+    popaccu_plus,
+)
+
+__all__ = [
+    "Granularity",
+    "provenance_key",
+    "Claim",
+    "FusionInput",
+    "Fuser",
+    "FusionConfig",
+    "FusionResult",
+    "Vote",
+    "Accu",
+    "PopAccu",
+    "accu_item_posteriors",
+    "popaccu_item_posteriors",
+    "vote",
+    "accu",
+    "popaccu",
+    "popaccu_plus_unsup",
+    "popaccu_plus",
+]

@@ -1,0 +1,86 @@
+"""ACCU: Bayesian fusion with uniformly-distributed false values.
+
+The model of Dong et al. (PVLDB 2009), as summarised in §4.1 of the paper:
+each data item has one true value and ``N`` uniformly-distributed false
+values; provenances are independent, each with accuracy ``A(S)``.
+
+- vote count of a provenance: ``τ(S) = ln(N·A(S) / (1 − A(S)))``;
+- vote count of a value: ``C(v) = Σ_{S claims v} τ(S)``;
+- posterior: softmax over the *full domain* — the observed values plus the
+  ``N + 1 − k`` unobserved values, each at vote count 0.  Keeping the
+  unobserved mass is what stops ACCU's probabilities "sticking" to the
+  default accuracy the way POPACCU's do (§4.2), and it is why a single
+  default-accuracy provenance yields exactly p = A.
+
+Iteration (accuracy re-estimation) lives in :mod:`repro.fusion.runner`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fusion.base import Fuser, FusionResult
+from repro.fusion.observations import FusionInput, ProvKey
+from repro.fusion.runner import run_bayesian_fusion
+from repro.kb.triples import Triple
+
+__all__ = ["accu_item_posteriors", "Accu"]
+
+_ACC_FLOOR = 1e-3
+_ACC_CEIL = 1.0 - 1e-3
+
+
+def _clamped(accuracy: float) -> float:
+    return min(max(accuracy, _ACC_FLOOR), _ACC_CEIL)
+
+
+def accu_item_posteriors(
+    claims: dict[Triple, set[ProvKey]],
+    accuracies: dict[ProvKey, float],
+    n_false: int,
+) -> dict[Triple, float]:
+    """Posterior probability of each observed value of one data item.
+
+    ``claims`` maps each observed triple to its supporting provenances;
+    ``n_false`` is the paper's ``N`` (default 100).
+    """
+    if not claims:
+        return {}
+    vote_counts: dict[Triple, float] = {}
+    for triple, provs in claims.items():
+        count = 0.0
+        for prov in provs:
+            accuracy = _clamped(accuracies[prov])
+            count += math.log(n_false * accuracy / (1.0 - accuracy))
+        vote_counts[triple] = count
+    k = len(vote_counts)
+    peak = max(vote_counts.values())
+    peak = max(peak, 0.0)  # unobserved values sit at vote count 0
+    denominator = sum(math.exp(c - peak) for c in vote_counts.values())
+    denominator += max(n_false + 1 - k, 0) * math.exp(-peak)
+    return {
+        triple: math.exp(count - peak) / denominator
+        for triple, count in vote_counts.items()
+    }
+
+
+class Accu(Fuser):
+    """Iterative ACCU (default N=100, A=0.8, R=5, L=1M)."""
+
+    @property
+    def name(self) -> str:
+        return "ACCU"
+
+    def fuse(self, fusion_input: FusionInput) -> FusionResult:
+        config = self.config
+
+        def posterior(claims, accuracies):
+            return accu_item_posteriors(claims, accuracies, config.n_false_values)
+
+        return run_bayesian_fusion(
+            fusion_input=fusion_input,
+            config=config,
+            item_posterior_fn=posterior,
+            method_name=self.name,
+            gold_labels=self.gold_labels,
+        )

@@ -1,0 +1,137 @@
+"""Direction 5: leveraging extraction confidence.
+
+§5.5: "We need a principled way that can incorporate confidence to other
+types of models and can apply even when confidence assignments from
+different extractors are of different qualities."
+
+The key obstacle (Figure 21) is that raw confidences are incomparable
+across extractors — DOM2 reports extremes, TXT1 hugs 0.5, TBL1 peaks in
+the middle.  This fuser therefore **rank-normalises** each record's
+confidence within its extractor's own confidence distribution (an
+extractor's 90th-percentile confidence means "among its most confident
+extractions" regardless of the raw scale), and uses the normalised weight
+to scale the claim's vote count in an ACCU-style posterior:
+
+    C(v) = Σ_claims  w(claim) · τ(S)
+
+Records without a confidence get weight 0.5.  Accuracy re-estimation is
+likewise weighted, so a provenance is judged mostly by the claims it was
+confident about.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import defaultdict
+
+from repro.fusion.base import Fuser, FusionResult
+from repro.fusion.observations import FusionInput
+from repro.fusion.provenance import provenance_key
+from repro.kb.triples import DataItem, Triple
+
+__all__ = ["ConfidenceWeightedFuser"]
+
+_EPS = 1e-3
+
+
+def _clamp(x: float) -> float:
+    return min(max(x, _EPS), 1.0 - _EPS)
+
+
+class ConfidenceWeightedFuser(Fuser):
+    """ACCU with per-extractor rank-normalised confidence weights."""
+
+    @property
+    def name(self) -> str:
+        return "CONFACCU"
+
+    def _normalised_weights(
+        self, fusion_input: FusionInput
+    ) -> dict[tuple[Triple, tuple], float]:
+        """Weight per (triple, provenance) claim in [0.05, 1.0]."""
+        by_extractor: dict[str, list[float]] = defaultdict(list)
+        for record in fusion_input.records:
+            if record.confidence is not None:
+                by_extractor[record.extractor].append(record.confidence)
+        sorted_confidences = {
+            extractor: sorted(values) for extractor, values in by_extractor.items()
+        }
+        weights: dict[tuple[Triple, tuple], float] = {}
+        for record in fusion_input.records:
+            key = (record.triple, provenance_key(record, self.config.granularity))
+            if record.confidence is None:
+                weight = 0.5
+            else:
+                ranks = sorted_confidences[record.extractor]
+                position = bisect.bisect_right(ranks, record.confidence)
+                weight = max(0.05, position / len(ranks))
+            # A claim backed by several records keeps its best weight.
+            weights[key] = max(weights.get(key, 0.0), weight)
+        return weights
+
+    def fuse(self, fusion_input: FusionInput) -> FusionResult:
+        config = self.config
+        matrix = fusion_input.claims(config.granularity)
+        weights = self._normalised_weights(fusion_input)
+        accuracies = {prov: config.default_accuracy for prov in matrix.prov_triples}
+        n_false = config.n_false_values
+
+        def item_posteriors(
+            item: DataItem, triple_map
+        ) -> dict[Triple, float]:
+            vote_counts: dict[Triple, float] = {}
+            for triple, provs in triple_map.items():
+                votes = 0.0
+                for prov in provs:
+                    accuracy = _clamp(accuracies[prov])
+                    weight = weights.get((triple, prov), 0.5)
+                    votes += weight * math.log(
+                        n_false * accuracy / (1.0 - accuracy)
+                    )
+                vote_counts[triple] = votes
+            k = len(vote_counts)
+            peak = max(max(vote_counts.values()), 0.0)
+            denominator = sum(
+                math.exp(v - peak) for v in vote_counts.values()
+            ) + max(n_false + 1 - k, 0) * math.exp(-peak)
+            return {
+                triple: math.exp(v - peak) / denominator
+                for triple, v in vote_counts.items()
+            }
+
+        posteriors: dict[Triple, float] = {}
+        rounds = 0
+        converged = False
+        for _round in range(config.max_rounds):
+            posteriors = {}
+            for item, triple_map in matrix.items.items():
+                posteriors.update(item_posteriors(item, triple_map))
+            delta = 0.0
+            sums: dict = defaultdict(float)
+            totals: dict = defaultdict(float)
+            for prov, triples in matrix.prov_triples.items():
+                for triple in triples:
+                    weight = weights.get((triple, prov), 0.5)
+                    sums[prov] += weight * posteriors[triple]
+                    totals[prov] += weight
+            for prov in matrix.prov_triples:
+                if totals[prov] > 0:
+                    new_accuracy = sums[prov] / totals[prov]
+                    delta = max(delta, abs(new_accuracy - accuracies[prov]))
+                    accuracies[prov] = new_accuracy
+            rounds += 1
+            if delta < config.convergence_tol:
+                converged = True
+                break
+
+        result = FusionResult(
+            method=self.name,
+            probabilities=posteriors,
+            accuracies=accuracies,
+            rounds=rounds,
+            converged=converged,
+            diagnostics={"n_items": len(matrix.items)},
+        )
+        result.validate()
+        return result

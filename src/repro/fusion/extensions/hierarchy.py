@@ -1,0 +1,162 @@
+"""Direction 4: hierarchical value spaces.
+
+§5.4: "values can be hierarchically structured … a triple with object CA
+partially supports that San Francisco is a true object … if several cities
+in CA are provided as conflicting values for a data item, although we may
+predict a low probability for each of these cities, we may predict a high
+probability for CA."
+
+This fuser reweights the vote counts of hierarchical-predicate items:
+
+- a claim of value ``v`` contributes weight 1 to ``v`` itself;
+- weight ``lambda_up**d`` to each ancestor at distance ``d`` (several
+  conflicting cities in one state agree on the state);
+- weight ``lambda_down**d`` to each descendant at distance ``d`` (a state
+  claim is weak evidence for any one of its cities).
+
+Weighted ACCU votes then score the observed values (non-hierarchical items
+fall through to plain ACCU behaviour).  The per-item probabilities no
+longer need to sum to 1 across a containment chain — (Steve Jobs,
+birth place, USA) and (…, California) may both be scored high, resolving
+the specific/general false negatives of Figure 17.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from repro.fusion.base import Fuser, FusionConfig, FusionResult
+from repro.fusion.observations import FusionInput, ProvKey
+from repro.kb.hierarchy import ValueHierarchy
+from repro.kb.schema import Schema
+from repro.kb.triples import Triple
+from repro.kb.values import EntityRef
+
+__all__ = ["HierarchicalFuser"]
+
+_EPS = 1e-3
+
+
+def _clamp(x: float) -> float:
+    return min(max(x, _EPS), 1.0 - _EPS)
+
+
+class HierarchicalFuser(Fuser):
+    """ACCU with support propagation along a value hierarchy."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        hierarchy: ValueHierarchy,
+        config: FusionConfig | None = None,
+        gold_labels=None,
+        lambda_up: float = 0.6,
+        lambda_down: float = 0.15,
+    ) -> None:
+        super().__init__(config, gold_labels)
+        self.schema = schema
+        self.hierarchy = hierarchy
+        self.lambda_up = lambda_up
+        self.lambda_down = lambda_down
+
+    @property
+    def name(self) -> str:
+        return "HIERACCU"
+
+    # ------------------------------------------------------------------
+    def _support_weight(self, claimed: Triple, candidate: Triple) -> float:
+        """How much a claim of ``claimed`` supports ``candidate``."""
+        if claimed.obj == candidate.obj:
+            return 1.0
+        predicate = self.schema.predicates.get(claimed.predicate)
+        if predicate is None or not predicate.hierarchical:
+            return 0.0
+        if not isinstance(claimed.obj, EntityRef) or not isinstance(
+            candidate.obj, EntityRef
+        ):
+            return 0.0
+        claimed_id = claimed.obj.entity_id
+        candidate_id = candidate.obj.entity_id
+        if self.hierarchy.is_ancestor(candidate_id, claimed_id):
+            distance = self.hierarchy.ancestors(claimed_id).index(candidate_id) + 1
+            return self.lambda_up**distance
+        if self.hierarchy.is_ancestor(claimed_id, candidate_id):
+            distance = self.hierarchy.ancestors(candidate_id).index(claimed_id) + 1
+            return self.lambda_down**distance
+        return 0.0
+
+    def _item_posteriors(
+        self,
+        claims: dict[Triple, set[ProvKey]],
+        accuracies: dict[ProvKey, float],
+    ) -> dict[Triple, float]:
+        """Weighted-vote posteriors over the observed values.
+
+        Each candidate's vote count accumulates τ(S) from every claim,
+        scaled by the hierarchy support weight; the posterior for a
+        candidate is a logistic over its votes against the unobserved-value
+        baseline, which deliberately does *not* normalise across candidates
+        (a chain of compatible values may all be true).
+        """
+        n_false = self.config.n_false_values
+        posteriors: dict[Triple, float] = {}
+        for candidate in claims:
+            votes = 0.0
+            for claimed, provs in claims.items():
+                weight = self._support_weight(claimed, candidate)
+                if weight <= 0.0:
+                    continue
+                for prov in provs:
+                    accuracy = _clamp(accuracies[prov])
+                    votes += weight * math.log(
+                        n_false * accuracy / (1.0 - accuracy)
+                    )
+            # Logistic against N uniformly-likely false values.
+            posteriors[candidate] = 1.0 / (1.0 + n_false * math.exp(-votes))
+        return posteriors
+
+    # ------------------------------------------------------------------
+    def fuse(self, fusion_input: FusionInput) -> FusionResult:
+        config = self.config
+        matrix = fusion_input.claims(config.granularity)
+        accuracies = {
+            prov: config.default_accuracy for prov in matrix.prov_triples
+        }
+
+        posteriors: dict[Triple, float] = {}
+        rounds = 0
+        converged = False
+        for _round in range(config.max_rounds):
+            posteriors = {}
+            for item, triple_map in matrix.items.items():
+                posteriors.update(
+                    self._item_posteriors(
+                        {t: set(p) for t, p in triple_map.items()}, accuracies
+                    )
+                )
+            delta = 0.0
+            by_prov: dict[ProvKey, list[float]] = defaultdict(list)
+            for item, triple_map in matrix.items.items():
+                for triple, provs in triple_map.items():
+                    for prov in provs:
+                        by_prov[prov].append(posteriors[triple])
+            for prov, values in by_prov.items():
+                new_accuracy = sum(values) / len(values)
+                delta = max(delta, abs(new_accuracy - accuracies[prov]))
+                accuracies[prov] = new_accuracy
+            rounds += 1
+            if delta < config.convergence_tol:
+                converged = True
+                break
+
+        result = FusionResult(
+            method=self.name,
+            probabilities=posteriors,
+            accuracies=accuracies,
+            rounds=rounds,
+            converged=converged,
+            diagnostics={"n_items": len(matrix.items)},
+        )
+        result.validate()
+        return result

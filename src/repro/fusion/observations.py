@@ -1,0 +1,101 @@
+"""Fusion input: unique (triple, provenance) claims.
+
+Raw extraction is many-to-many — the same extractor may extract the same
+triple from the same page through two patterns, and certainly from many
+pages.  Fusion operates on the deduplicated *claim* matrix: for every data
+item, which provenances support which triple.  :class:`FusionInput` builds
+and caches that matrix per granularity, so the same extraction run can be
+fused under many configurations cheaply (the granularity sweep of
+Figure 10 does exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.extract.records import ExtractionRecord
+from repro.fusion.provenance import Granularity, provenance_key
+from repro.kb.triples import DataItem, Triple
+
+__all__ = ["Claim", "FusionInput"]
+
+ProvKey = tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Claim:
+    """One unique (triple, provenance) cell of the knowledge-fusion input."""
+
+    triple: Triple
+    provenance: ProvKey
+
+
+@dataclass
+class FusionInput:
+    """Extraction records plus cached claim matrices per granularity."""
+
+    records: list[ExtractionRecord]
+    _cache: dict[Granularity, "ClaimMatrix"] = field(default_factory=dict, repr=False)
+
+    def claims(self, granularity: Granularity) -> "ClaimMatrix":
+        matrix = self._cache.get(granularity)
+        if matrix is None:
+            matrix = ClaimMatrix.build(self.records, granularity)
+            self._cache[granularity] = matrix
+        return matrix
+
+    def unique_triples(self) -> list[Triple]:
+        """All distinct extracted triples (the paper's 1.6B 'unique')."""
+        return sorted({record.triple for record in self.records})
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class ClaimMatrix:
+    """The deduplicated claim structure for one granularity.
+
+    ``items``: data item -> {triple -> set of supporting provenances}.
+    ``prov_triples``: provenance -> unique triples it supports.
+    """
+
+    granularity: Granularity
+    items: dict[DataItem, dict[Triple, set[ProvKey]]]
+    prov_triples: dict[ProvKey, set[Triple]]
+
+    @staticmethod
+    def build(
+        records: list[ExtractionRecord], granularity: Granularity
+    ) -> "ClaimMatrix":
+        items: dict[DataItem, dict[Triple, set[ProvKey]]] = {}
+        prov_triples: dict[ProvKey, set[Triple]] = {}
+        for record in records:
+            key = provenance_key(record, granularity)
+            triple_map = items.setdefault(record.triple.data_item, {})
+            triple_map.setdefault(record.triple, set()).add(key)
+            prov_triples.setdefault(key, set()).add(record.triple)
+        return ClaimMatrix(
+            granularity=granularity, items=items, prov_triples=prov_triples
+        )
+
+    def n_claims(self) -> int:
+        return sum(
+            len(provs)
+            for triple_map in self.items.values()
+            for provs in triple_map.values()
+        )
+
+    def provenance_support(self) -> dict[ProvKey, int]:
+        """Unique-triple count per provenance (the coverage-filter signal)."""
+        return {key: len(triples) for key, triples in self.prov_triples.items()}
+
+    def claims_of_item(self, item: DataItem) -> dict[Triple, set[ProvKey]]:
+        return self.items.get(item, {})
+
+    def all_triples(self) -> list[Triple]:
+        return sorted(
+            triple
+            for triple_map in self.items.values()
+            for triple in triple_map
+        )

@@ -1,0 +1,236 @@
+"""The iterative fusion pipeline of Figure 8.
+
+Stage I maps claims by data item and computes per-item posteriors given
+current provenance accuracies; Stage II maps scored claims by provenance
+and re-estimates each provenance's accuracy as the mean posterior of its
+unique triples; the two stages alternate until the accuracies move less
+than the tolerance or the round budget ``R`` is spent; Stage III
+deduplicates by triple and emits the result.  Both reducers honour the
+sampling bound ``L``.
+
+The §4.3 refinements plug in here:
+
+- **coverage filter** (refinement I): in round 1 only data items where
+  some triple has ≥2 provenances are scored; provenances that never
+  receive a re-evaluated accuracy keep the default and are ignored from
+  round 2 on.  Triples whose items never get scored end up *unpredicted*.
+- **accuracy filter** (refinement III, θ): provenances with accuracy < θ
+  are ignored; a triple whose item loses every provenance falls back to
+  the mean accuracy of its own provenances.
+- **gold initialisation** (refinement IV): provenance accuracies start at
+  the fraction of their LCWA-labelled triples that are true (for a
+  deterministic ``gold_sample_rate`` subsample), instead of the default.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.fusion.base import FusionConfig, FusionResult
+from repro.fusion.observations import FusionInput, ProvKey
+from repro.kb.triples import Triple
+from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
+from repro.rng import split_seed
+
+__all__ = ["run_bayesian_fusion"]
+
+ItemPosteriorFn = Callable[
+    [dict[Triple, set[ProvKey]], dict[ProvKey, float]], dict[Triple, float]
+]
+
+
+def _gold_subsample(
+    gold_labels: dict[Triple, bool], rate: float, seed: int
+) -> dict[Triple, bool]:
+    """Deterministic per-triple subsample of the gold standard."""
+    if rate >= 1.0:
+        return gold_labels
+    sampled: dict[Triple, bool] = {}
+    threshold = int(rate * 1_000_000)
+    for triple, label in gold_labels.items():
+        if split_seed(seed, "goldsample", triple.canonical()) % 1_000_000 < threshold:
+            sampled[triple] = label
+    return sampled
+
+
+def _stage1(
+    engine: MapReduceEngine,
+    matrix,
+    active: set[ProvKey],
+    accuracies: dict[ProvKey, float],
+    item_posterior_fn: ItemPosteriorFn,
+    config: FusionConfig,
+    require_repeated: bool,
+) -> dict[Triple, float]:
+    """Map claims by data item; reduce to per-triple posteriors."""
+
+    def mapper(claim):
+        item, triple, prov = claim
+        return [(item.canonical(), (triple, prov))]
+
+    def reducer(_item_key, values):
+        claims: dict[Triple, set[ProvKey]] = {}
+        for triple, prov in values:
+            claims.setdefault(triple, set()).add(prov)
+        if require_repeated and not any(len(p) >= 2 for p in claims.values()):
+            return []
+        posteriors = item_posterior_fn(claims, accuracies)
+        return list(posteriors.items())
+
+    claim_stream = [
+        (item, triple, prov)
+        for item, triple_map in matrix.items.items()
+        for triple, provs in triple_map.items()
+        for prov in provs
+        if prov in active
+    ]
+    job = MapReduceJob(
+        name="fusion.stage1",
+        mapper=mapper,
+        reducer=reducer,
+        sample_limit=config.sample_limit,
+        seed=config.seed,
+    )
+    return dict(engine.run(claim_stream, job))
+
+
+def _stage2(
+    engine: MapReduceEngine,
+    matrix,
+    active: set[ProvKey],
+    posteriors: dict[Triple, float],
+    config: FusionConfig,
+) -> dict[ProvKey, float]:
+    """Map scored triples by provenance; reduce to accuracy estimates."""
+
+    def mapper(pair):
+        prov, triple = pair
+        return [(prov, (triple, posteriors[triple]))]
+
+    def reducer(prov, values):
+        seen: dict[Triple, float] = {}
+        for triple, probability in values:
+            seen[triple] = probability
+        if not seen:
+            return []
+        return [(prov, sum(seen.values()) / len(seen))]
+
+    pairs = [
+        (prov, triple)
+        for prov, triples in matrix.prov_triples.items()
+        if prov in active
+        for triple in triples
+        if triple in posteriors
+    ]
+    job = MapReduceJob(
+        name="fusion.stage2",
+        mapper=mapper,
+        reducer=reducer,
+        sample_limit=config.sample_limit,
+        seed=config.seed,
+    )
+    return dict(engine.run(pairs, job))
+
+
+def run_bayesian_fusion(
+    fusion_input: FusionInput,
+    config: FusionConfig,
+    item_posterior_fn: ItemPosteriorFn,
+    method_name: str,
+    gold_labels: dict[Triple, bool] | None = None,
+    track_rounds: bool = False,
+) -> FusionResult:
+    """Run the full iterative pipeline and return a :class:`FusionResult`.
+
+    ``track_rounds=True`` stores the per-round probability snapshots in
+    ``result.diagnostics["round_probabilities"]`` (used by the Figure 14
+    experiment).
+    """
+    matrix = fusion_input.claims(config.granularity)
+    engine = MapReduceEngine()
+    default = config.default_accuracy
+
+    all_provs = set(matrix.prov_triples)
+    accuracies: dict[ProvKey, float] = {prov: default for prov in all_provs}
+    evaluated: set[ProvKey] = set()
+
+    gold_initialized = 0
+    if gold_labels:
+        sampled = _gold_subsample(gold_labels, config.gold_sample_rate, config.seed)
+        for prov, triples in matrix.prov_triples.items():
+            labels = [sampled[t] for t in triples if t in sampled]
+            if labels:
+                accuracies[prov] = sum(labels) / len(labels)
+                evaluated.add(prov)
+                gold_initialized += 1
+
+    def active_set(round_index: int) -> set[ProvKey]:
+        active = set(all_provs)
+        if config.filter_by_coverage and round_index > 0:
+            active &= evaluated
+        if config.min_accuracy is not None:
+            active = {p for p in active if accuracies[p] >= config.min_accuracy}
+        return active
+
+    posteriors: dict[Triple, float] = {}
+    round_probabilities: list[dict[Triple, float]] = []
+    rounds_run = 0
+    converged = False
+    for round_index in range(config.max_rounds):
+        active = active_set(round_index)
+        require_repeated = config.filter_by_coverage and round_index == 0
+        posteriors = _stage1(
+            engine,
+            matrix,
+            active,
+            accuracies,
+            item_posterior_fn,
+            config,
+            require_repeated,
+        )
+        new_accuracies = _stage2(engine, matrix, active, posteriors, config)
+        delta = 0.0
+        for prov, accuracy in new_accuracies.items():
+            delta = max(delta, abs(accuracy - accuracies[prov]))
+            accuracies[prov] = accuracy
+            evaluated.add(prov)
+        rounds_run = round_index + 1
+        if track_rounds:
+            round_probabilities.append(dict(posteriors))
+        if delta < config.convergence_tol:
+            converged = True
+            break
+
+    # Stage III: dedup by triple, applying the fallbacks for filtered items.
+    probabilities: dict[Triple, float] = {}
+    unpredicted: set[Triple] = set()
+    for item, triple_map in matrix.items.items():
+        for triple, provs in triple_map.items():
+            if triple in posteriors:
+                probabilities[triple] = posteriors[triple]
+            elif config.min_accuracy is not None:
+                # θ-filter fallback: mean accuracy of the triple's own
+                # provenances (which may all be below θ).
+                probabilities[triple] = sum(accuracies[p] for p in provs) / len(provs)
+            else:
+                unpredicted.add(triple)
+
+    result = FusionResult(
+        method=method_name,
+        probabilities=probabilities,
+        unpredicted=unpredicted,
+        accuracies=accuracies,
+        rounds=rounds_run,
+        converged=converged,
+        diagnostics={
+            "n_items": len(matrix.items),
+            "n_provenances": len(all_provs),
+            "n_claims": matrix.n_claims(),
+            "gold_initialized": gold_initialized,
+            "n_active_final": len(active_set(rounds_run)),
+        },
+    )
+    if track_rounds:
+        result.diagnostics["round_probabilities"] = round_probabilities
+    result.validate()
+    return result

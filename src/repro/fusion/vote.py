@@ -1,0 +1,72 @@
+"""VOTE: the baseline fuser.
+
+§4.1: "if a data item D = (s, p) has n provenances in total and a triple
+T = (s, p, o) has m provenances, the probability of T is p(T) = m/n."
+No source-quality estimation, no iteration — only Stage I and Stage III of
+the Figure 8 pipeline, which is exactly how it is implemented here (through
+the MapReduce engine, so VOTE exercises the same dataflow as the Bayesian
+methods).
+"""
+
+from __future__ import annotations
+
+from repro.fusion.base import Fuser, FusionResult
+from repro.fusion.observations import FusionInput
+from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
+
+__all__ = ["Vote"]
+
+
+class Vote(Fuser):
+    """Provenance counting."""
+
+    @property
+    def name(self) -> str:
+        return "VOTE"
+
+    def fuse(self, fusion_input: FusionInput) -> FusionResult:
+        matrix = fusion_input.claims(self.config.granularity)
+        engine = MapReduceEngine()
+
+        # Stage I: map claims by data item, compute m/n per triple.
+        def stage1_mapper(claim):
+            item, triple, prov = claim
+            return [(item.canonical(), (triple, prov))]
+
+        def stage1_reducer(item_key, values):
+            total = len(values)
+            counts: dict = {}
+            for triple, _prov in values:
+                counts[triple] = counts.get(triple, 0) + 1
+            return [(triple, count / total) for triple, count in counts.items()]
+
+        claims = [
+            (item, triple, prov)
+            for item, triple_map in matrix.items.items()
+            for triple, provs in triple_map.items()
+            for prov in provs
+        ]
+        stage1 = MapReduceJob(
+            name="vote.stage1",
+            mapper=stage1_mapper,
+            reducer=stage1_reducer,
+            sample_limit=self.config.sample_limit,
+            seed=self.config.seed,
+        )
+        scored = engine.run(claims, stage1)
+
+        # Stage III: dedup by triple (probabilities agree per item already).
+        stage3 = MapReduceJob(
+            name="vote.stage3",
+            mapper=lambda pair: [(pair[0].canonical(), pair)],
+            reducer=lambda _key, values: [values[0]],
+        )
+        deduped = engine.run(scored, stage3)
+        result = FusionResult(
+            method=self.name,
+            probabilities={triple: float(p) for triple, p in deduped},
+            rounds=0,
+            converged=True,
+        )
+        result.validate()
+        return result

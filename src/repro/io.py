@@ -1,0 +1,162 @@
+"""JSONL serialisation for the pipeline's data artifacts.
+
+A downstream user of the library needs to move three things across process
+boundaries: extraction records (the fusion input), knowledge bases (the
+Freebase snapshot / the fused output), and per-triple probabilities (the
+fusion result).  Each gets a line-oriented JSON format — append-friendly,
+diff-friendly, and streamable, which is the property that matters when the
+real corpora are 10⁴× bigger than the test ones.
+
+The debug channel of extraction records is serialised too (rounding it
+away would make saved scenarios useless for error analysis), under a
+``debug`` key that loaders reconstruct faithfully.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.extract.records import ErrorKind, ExtractionDebug, ExtractionRecord
+from repro.kb.store import KnowledgeBase
+from repro.kb.triples import Triple
+
+__all__ = [
+    "save_records",
+    "load_records",
+    "save_kb",
+    "load_kb",
+    "save_probabilities",
+    "load_probabilities",
+]
+
+
+# ---------------------------------------------------------------------------
+# Extraction records
+# ---------------------------------------------------------------------------
+def _record_to_dict(record: ExtractionRecord) -> dict:
+    data = {
+        "triple": record.triple.canonical(),
+        "extractor": record.extractor,
+        "url": record.url,
+        "site": record.site,
+        "content_type": record.content_type,
+        "pattern": record.pattern,
+        "confidence": record.confidence,
+    }
+    if record.debug is not None:
+        data["debug"] = {
+            "asserted_index": record.debug.asserted_index,
+            "error_kind": (
+                record.debug.error_kind.value
+                if record.debug.error_kind is not None
+                else None
+            ),
+            "source_error": record.debug.source_error,
+            "span_corrupted": record.debug.span_corrupted,
+            "slot_mismatch": record.debug.slot_mismatch,
+        }
+    return data
+
+
+def _record_from_dict(data: dict) -> ExtractionRecord:
+    debug = None
+    if "debug" in data and data["debug"] is not None:
+        raw = data["debug"]
+        debug = ExtractionDebug(
+            asserted_index=raw["asserted_index"],
+            error_kind=(
+                ErrorKind(raw["error_kind"]) if raw["error_kind"] else None
+            ),
+            source_error=raw["source_error"],
+            span_corrupted=raw.get("span_corrupted", False),
+            slot_mismatch=raw.get("slot_mismatch", False),
+        )
+    return ExtractionRecord(
+        triple=Triple.from_canonical(data["triple"]),
+        extractor=data["extractor"],
+        url=data["url"],
+        site=data["site"],
+        content_type=data["content_type"],
+        pattern=data.get("pattern"),
+        confidence=data.get("confidence"),
+        debug=debug,
+    )
+
+
+def save_records(records: Iterable[ExtractionRecord], path: str | Path) -> int:
+    """Write records as JSONL; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(_record_to_dict(record)) + "\n")
+            count += 1
+    return count
+
+
+def load_records(path: str | Path) -> list[ExtractionRecord]:
+    """Read records written by :func:`save_records`."""
+    return list(iter_records(path))
+
+
+def iter_records(path: str | Path) -> Iterator[ExtractionRecord]:
+    """Stream records without materialising the whole file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield _record_from_dict(json.loads(line))
+
+
+# ---------------------------------------------------------------------------
+# Knowledge bases
+# ---------------------------------------------------------------------------
+def save_kb(kb: KnowledgeBase, path: str | Path) -> int:
+    """Write a KB as one canonical triple per line (sorted, stable)."""
+    triples = sorted(kb, key=lambda t: t.canonical())
+    with open(path, "w", encoding="utf-8") as handle:
+        for triple in triples:
+            handle.write(triple.canonical() + "\n")
+    return len(triples)
+
+
+def load_kb(path: str | Path, name: str = "kb") -> KnowledgeBase:
+    """Read a KB written by :func:`save_kb`."""
+    kb = KnowledgeBase(name=name)
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                kb.add(Triple.from_canonical(line))
+    return kb
+
+
+# ---------------------------------------------------------------------------
+# Fusion output
+# ---------------------------------------------------------------------------
+def save_probabilities(
+    probabilities: dict[Triple, float], path: str | Path
+) -> int:
+    """Write ``{triple: probability}`` as JSONL, sorted for stable diffs."""
+    items = sorted(probabilities.items(), key=lambda kv: kv[0].canonical())
+    with open(path, "w", encoding="utf-8") as handle:
+        for triple, probability in items:
+            handle.write(
+                json.dumps({"triple": triple.canonical(), "p": probability}) + "\n"
+            )
+    return len(items)
+
+
+def load_probabilities(path: str | Path) -> dict[Triple, float]:
+    """Read probabilities written by :func:`save_probabilities`."""
+    probabilities: dict[Triple, float] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                data = json.loads(line)
+                probabilities[Triple.from_canonical(data["triple"])] = float(
+                    data["p"]
+                )
+    return probabilities

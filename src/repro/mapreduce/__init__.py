@@ -1,0 +1,13 @@
+"""Local MapReduce engine.
+
+The paper scales fusion with a three-stage MapReduce pipeline (Figure 8).
+This package provides the same dataflow semantics — map, shuffle (grouped,
+deterministically ordered), reduce, with per-reducer input *sampling*
+(the paper's ``L``) and multi-stage iteration with forced termination
+(the paper's ``R``) — as an in-process engine suitable for laptop scale.
+"""
+
+from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
+from repro.mapreduce.job import IterativeJob, run_iterative
+
+__all__ = ["MapReduceEngine", "MapReduceJob", "IterativeJob", "run_iterative"]

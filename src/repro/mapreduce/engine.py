@@ -1,0 +1,91 @@
+"""Map-shuffle-reduce with deterministic ordering and reducer sampling.
+
+The engine is deliberately faithful to the MapReduce contract the paper's
+implementation relies on:
+
+- the **mapper** turns each input record into zero or more ``(key, value)``
+  pairs;
+- the **shuffle** groups values by key; reducers see keys in sorted order,
+  so runs are reproducible regardless of input order;
+- the **reducer** sees ``(key, values)`` and emits zero or more outputs;
+- when a key's value list exceeds ``sample_limit`` (the paper's ``L``,
+  §4.1: "we sample L triples each time instead of using all triples"), a
+  deterministic per-key sample is taken before reducing — the skew-taming
+  trick the paper uses against 2.7M-claim data items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.errors import FusionError
+from repro.rng import split_seed
+
+__all__ = ["MapReduceJob", "MapReduceEngine"]
+
+Mapper = Callable[[Any], Iterable[tuple[Any, Any]]]
+Reducer = Callable[[Any, list], Iterable[Any]]
+
+
+@dataclass(frozen=True)
+class MapReduceJob:
+    """One map+reduce stage.
+
+    ``sample_limit`` bounds the number of values any reducer sees for one
+    key (None = unbounded); sampling is deterministic in ``seed`` and the
+    key, so re-running the job reproduces the result exactly.
+    """
+
+    name: str
+    mapper: Mapper
+    reducer: Reducer
+    sample_limit: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sample_limit is not None and self.sample_limit < 1:
+            raise FusionError(
+                f"job {self.name}: sample_limit must be >= 1 or None, "
+                f"got {self.sample_limit}"
+            )
+
+
+class MapReduceEngine:
+    """In-process engine running one job at a time."""
+
+    def run(self, records: Iterable[Any], job: MapReduceJob) -> list[Any]:
+        """Execute ``job`` over ``records`` and return all reducer outputs."""
+        groups = self.map_and_shuffle(records, job.mapper)
+        return self.reduce(groups, job)
+
+    def map_and_shuffle(
+        self, records: Iterable[Any], mapper: Mapper
+    ) -> dict[Any, list]:
+        """The map phase plus grouping; exposed for tests and diagnostics."""
+        groups: dict[Any, list] = {}
+        for record in records:
+            for key, value in mapper(record):
+                groups.setdefault(key, []).append(value)
+        return groups
+
+    def reduce(self, groups: dict[Any, list], job: MapReduceJob) -> list[Any]:
+        """The reduce phase over pre-grouped data, keys in sorted order."""
+        outputs: list[Any] = []
+        for key in sorted(groups):
+            values = groups[key]
+            values = self.sample_values(values, key, job)
+            outputs.extend(job.reducer(key, values))
+        return outputs
+
+    @staticmethod
+    def sample_values(values: list, key: Any, job: MapReduceJob) -> list:
+        """Deterministic per-key sample of reducer input (the paper's L)."""
+        limit = job.sample_limit
+        if limit is None or len(values) <= limit:
+            return values
+        rng = np.random.default_rng(split_seed(job.seed, job.name, repr(key)))
+        picked = rng.choice(len(values), size=limit, replace=False)
+        return [values[i] for i in sorted(int(x) for x in picked)]

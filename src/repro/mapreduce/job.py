@@ -1,0 +1,80 @@
+"""Iterative multi-stage jobs with convergence and forced termination.
+
+The fusion pipeline of Figure 8 alternates two stages (triple-probability
+estimation, provenance-accuracy evaluation) "until convergence", with a
+forced cut-off after ``R`` rounds because "there might be many rounds
+before convergence and even a single round can take a long time".
+:func:`run_iterative` provides that loop shape generically: a *state* is
+refined round by round until the caller-supplied distance between
+successive states drops below tolerance or the round budget is spent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import FusionError
+
+__all__ = ["IterativeJob", "run_iterative"]
+
+
+@dataclass(frozen=True)
+class IterativeJob:
+    """One iterative computation.
+
+    ``step(state, round_index)`` produces the next state;
+    ``distance(old, new)`` measures change (convergence when
+    ``distance < tol``).  ``max_rounds`` is the paper's ``R``.
+    """
+
+    name: str
+    step: Callable[[Any, int], Any]
+    distance: Callable[[Any, Any], float]
+    max_rounds: int = 5
+    tol: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise FusionError(f"job {self.name}: max_rounds must be >= 1")
+        if self.tol < 0:
+            raise FusionError(f"job {self.name}: tol must be >= 0")
+
+
+@dataclass
+class IterationTrace:
+    """What happened each round (feeds the Figure 14 experiment)."""
+
+    rounds: int
+    converged: bool
+    distances: list[float]
+    states: list[Any]
+
+
+def run_iterative(job: IterativeJob, initial_state: Any, keep_states: bool = False) -> IterationTrace:
+    """Run ``job`` from ``initial_state``; return the trace.
+
+    The final state is ``trace.states[-1]`` (states are retained only when
+    ``keep_states`` is set; otherwise the list holds just the last state).
+    """
+    state = initial_state
+    distances: list[float] = []
+    states: list[Any] = [state] if keep_states else []
+    converged = False
+    rounds = 0
+    for round_index in range(job.max_rounds):
+        new_state = job.step(state, round_index)
+        delta = job.distance(state, new_state)
+        distances.append(delta)
+        state = new_state
+        rounds = round_index + 1
+        if keep_states:
+            states.append(state)
+        if delta < job.tol:
+            converged = True
+            break
+    if not keep_states:
+        states = [state]
+    return IterationTrace(
+        rounds=rounds, converged=converged, distances=distances, states=states
+    )

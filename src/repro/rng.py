@@ -1,0 +1,65 @@
+"""Deterministic random-number utilities.
+
+All stochastic components of the library (world generation, web rendering,
+extraction noise, reducer sampling) draw from :class:`numpy.random.Generator`
+instances derived from a single master seed.  Components never share a
+generator; instead each asks for a *named stream* so that adding a new
+consumer does not perturb the draws seen by existing ones.  This is what
+makes scenarios and experiments exactly reproducible run-to-run.
+
+Example
+-------
+>>> rng = named_rng(42, "worldgen")
+>>> rng2 = named_rng(42, "worldgen")
+>>> int(rng.integers(1000)) == int(rng2.integers(1000))
+True
+>>> rng3 = named_rng(42, "webgen")  # independent stream
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["named_rng", "stream_seed", "split_seed", "zipf_weights"]
+
+_SEED_BYTES = 8
+
+
+def stream_seed(master_seed: int, name: str) -> int:
+    """Derive a stable 64-bit seed for the stream ``name``.
+
+    The derivation hashes the master seed together with the stream name, so
+    streams are statistically independent and insensitive to the order in
+    which they are created.
+    """
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:_SEED_BYTES], "big")
+
+
+def named_rng(master_seed: int, name: str) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for the stream ``name``."""
+    return np.random.default_rng(stream_seed(master_seed, name))
+
+
+def split_seed(master_seed: int, *names: str) -> int:
+    """Derive a sub-seed along a path of names, e.g. ``("webgen", "site3")``."""
+    seed = master_seed
+    for name in names:
+        seed = stream_seed(seed, name)
+    return seed
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalised Zipf weights ``w_i ∝ 1/(i+1)^exponent`` for ``n`` ranks.
+
+    The paper repeatedly observes heavy-head/long-tail skew (triples per
+    type, per entity, per source); sampling against these weights is how the
+    synthetic scenario reproduces that skew.
+    """
+    if n <= 0:
+        raise ValueError(f"need n >= 1, got {n}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-float(exponent))
+    return weights / weights.sum()

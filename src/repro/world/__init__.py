@@ -1,0 +1,49 @@
+"""Synthetic ground-truth world and web substrate.
+
+The paper's evaluation ran over 1B+ crawled web pages; offline we build the
+closest synthetic equivalent: a *world* of entities and true facts (the
+latent truth fusion is trying to recover), a Freebase-like *snapshot* of a
+subset of those facts (the gold-standard reference), and a *web corpus* of
+pages that assert facts — sometimes wrongly, sometimes copied — rendered
+into the four content types the paper extracts from (TXT / DOM / TBL / ANO).
+
+The split between *source errors* (a page asserts a wrong value) and
+*extraction errors* (an extractor misreads a correct assertion) is explicit
+here and auditable downstream, which is what the paper's error analysis
+(Figure 17) and future direction 1 both require.
+"""
+
+from repro.world.config import WorldConfig, WebConfig
+from repro.world.facts import World, SourceAssertion, build_freebase_snapshot
+from repro.world.worldgen import generate_world
+from repro.world.content import (
+    Mention,
+    Sentence,
+    TextDocument,
+    DomRow,
+    DomTree,
+    WebTable,
+    AnnotationBlock,
+    ContentElement,
+)
+from repro.world.webgen import WebPage, WebCorpus, generate_corpus
+
+__all__ = [
+    "WorldConfig",
+    "WebConfig",
+    "World",
+    "SourceAssertion",
+    "build_freebase_snapshot",
+    "generate_world",
+    "Mention",
+    "Sentence",
+    "TextDocument",
+    "DomRow",
+    "DomTree",
+    "WebTable",
+    "AnnotationBlock",
+    "ContentElement",
+    "WebPage",
+    "WebCorpus",
+    "generate_corpus",
+]

@@ -1,0 +1,526 @@
+"""Built-in type and predicate catalogue.
+
+The paper's corpus spans 1.1K Freebase types "in various domains including
+geography, business, book, music, sports, people, biology" with location,
+organization and business as the three largest.  The catalogue below covers
+those domains with realistic predicates: a 72%/28% non-functional/functional
+split (Table 3), explicit confusable pairs (author↔editor,
+director↔producer — the paper's predicate-linkage errors), and hierarchical
+location-valued predicates (the specific/general confusions of §4.4).
+
+Each entry also declares generator hints: a relative entity-budget weight
+(location-heavy, matching the paper's top types) and which naming and
+literal-vocabulary functions realise its entities and values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kb.schema import EntityType, Predicate, Schema, ValueKind
+
+__all__ = [
+    "PredicateSpec",
+    "TypeSpec",
+    "CATALOG",
+    "selected_types",
+    "build_schema",
+    "predicate_spec",
+]
+
+
+@dataclass(frozen=True)
+class PredicateSpec:
+    """Declarative predicate description, expanded into a Predicate."""
+
+    name: str
+    value_kind: ValueKind
+    functional: bool = True
+    max_truths: int = 1
+    object_type: str | None = None  # short type name, e.g. "location"
+    confusable_with: str | None = None  # sibling predicate short name
+    hierarchical: bool = False
+    literal_vocab: str | None = None  # NameForge method for literal values
+    number_range: tuple[float, float] | None = None
+
+
+@dataclass(frozen=True)
+class TypeSpec:
+    """Declarative type description."""
+
+    type_id: str  # full 2-level id, e.g. "people/person"
+    entity_weight: float  # relative share of the entity budget
+    namer: str  # NameForge method producing canonical names
+    predicates: tuple[PredicateSpec, ...]
+
+
+CATALOG: tuple[TypeSpec, ...] = (
+    TypeSpec(
+        type_id="location/location",
+        entity_weight=5.0,
+        namer="place_name",
+        predicates=(
+            PredicateSpec(
+                "population", ValueKind.NUMBER, number_range=(2_000, 30_000_000)
+            ),
+            PredicateSpec("area_km2", ValueKind.NUMBER, number_range=(5, 9_000_000)),
+            PredicateSpec(
+                "official_language",
+                ValueKind.STRING,
+                functional=False,
+                max_truths=3,
+                literal_vocab="language",
+            ),
+            PredicateSpec(
+                "landmark",
+                ValueKind.STRING,
+                functional=False,
+                max_truths=3,
+                literal_vocab="landmark",
+            ),
+            PredicateSpec(
+                "twin_city",
+                ValueKind.ENTITY,
+                functional=False,
+                max_truths=3,
+                object_type="location/location",
+            ),
+        ),
+    ),
+    TypeSpec(
+        type_id="organization/organization",
+        entity_weight=3.0,
+        namer="org_name",
+        predicates=(
+            PredicateSpec(
+                "founded_year", ValueKind.NUMBER, number_range=(1800, 2013)
+            ),
+            PredicateSpec(
+                "founder",
+                ValueKind.ENTITY,
+                functional=False,
+                max_truths=3,
+                object_type="people/person",
+            ),
+            PredicateSpec(
+                "headquarters",
+                ValueKind.ENTITY,
+                object_type="location/location",
+                hierarchical=True,
+            ),
+            PredicateSpec("ceo", ValueKind.ENTITY, object_type="people/person"),
+            PredicateSpec(
+                "subsidiary",
+                ValueKind.ENTITY,
+                functional=False,
+                max_truths=4,
+                object_type="organization/organization",
+            ),
+            PredicateSpec(
+                "office_location",
+                ValueKind.ENTITY,
+                functional=False,
+                max_truths=3,
+                object_type="location/location",
+                hierarchical=True,
+            ),
+        ),
+    ),
+    TypeSpec(
+        type_id="business/business",
+        entity_weight=2.5,
+        namer="org_name",
+        predicates=(
+            PredicateSpec(
+                "industry",
+                ValueKind.STRING,
+                functional=False,
+                max_truths=2,
+                literal_vocab="industry",
+            ),
+            PredicateSpec(
+                "revenue_musd", ValueKind.NUMBER, number_range=(1, 500_000)
+            ),
+            PredicateSpec(
+                "parent_company",
+                ValueKind.ENTITY,
+                object_type="organization/organization",
+            ),
+            PredicateSpec(
+                "hq_city",
+                ValueKind.ENTITY,
+                object_type="location/location",
+                hierarchical=True,
+            ),
+            PredicateSpec(
+                "market",
+                ValueKind.STRING,
+                functional=False,
+                max_truths=3,
+                literal_vocab="industry",
+            ),
+        ),
+    ),
+    TypeSpec(
+        type_id="people/person",
+        entity_weight=4.0,
+        namer="person_name",
+        predicates=(
+            PredicateSpec("birth_date", ValueKind.DATE),
+            PredicateSpec(
+                "birth_place",
+                ValueKind.ENTITY,
+                object_type="location/location",
+                hierarchical=True,
+            ),
+            PredicateSpec(
+                "nationality",
+                ValueKind.ENTITY,
+                functional=False,
+                max_truths=2,
+                object_type="location/location",
+                hierarchical=True,
+            ),
+            PredicateSpec(
+                "profession",
+                ValueKind.STRING,
+                functional=False,
+                max_truths=4,
+                literal_vocab="profession",
+            ),
+            PredicateSpec(
+                "spouse",
+                ValueKind.ENTITY,
+                functional=False,
+                max_truths=2,
+                object_type="people/person",
+            ),
+            PredicateSpec(
+                "children",
+                ValueKind.ENTITY,
+                functional=False,
+                max_truths=6,
+                object_type="people/person",
+            ),
+            PredicateSpec(
+                "award",
+                ValueKind.STRING,
+                functional=False,
+                max_truths=4,
+                literal_vocab="award",
+            ),
+            PredicateSpec(
+                "sibling",
+                ValueKind.ENTITY,
+                functional=False,
+                max_truths=4,
+                object_type="people/person",
+            ),
+        ),
+    ),
+    TypeSpec(
+        type_id="film/film",
+        entity_weight=2.0,
+        namer="work_title",
+        predicates=(
+            PredicateSpec(
+                "release_year", ValueKind.NUMBER, number_range=(1920, 2013)
+            ),
+            PredicateSpec(
+                "director",
+                ValueKind.ENTITY,
+                object_type="people/person",
+                confusable_with="producer",
+            ),
+            PredicateSpec(
+                "producer",
+                ValueKind.ENTITY,
+                functional=False,
+                max_truths=3,
+                object_type="people/person",
+                confusable_with="director",
+            ),
+            PredicateSpec(
+                "actor",
+                ValueKind.ENTITY,
+                functional=False,
+                max_truths=8,
+                object_type="people/person",
+            ),
+            PredicateSpec(
+                "genre",
+                ValueKind.STRING,
+                functional=False,
+                max_truths=3,
+                literal_vocab="genre",
+            ),
+            PredicateSpec(
+                "writer",
+                ValueKind.ENTITY,
+                functional=False,
+                max_truths=3,
+                object_type="people/person",
+            ),
+        ),
+    ),
+    TypeSpec(
+        type_id="book/book",
+        entity_weight=1.8,
+        namer="work_title",
+        predicates=(
+            PredicateSpec(
+                "author",
+                ValueKind.ENTITY,
+                functional=False,
+                max_truths=2,
+                object_type="people/person",
+                confusable_with="editor",
+            ),
+            PredicateSpec(
+                "editor",
+                ValueKind.ENTITY,
+                functional=False,
+                max_truths=2,
+                object_type="people/person",
+                confusable_with="author",
+            ),
+            PredicateSpec(
+                "publication_year", ValueKind.NUMBER, number_range=(1850, 2013)
+            ),
+            PredicateSpec(
+                "publisher",
+                ValueKind.ENTITY,
+                object_type="organization/organization",
+            ),
+            PredicateSpec(
+                "book_genre",
+                ValueKind.STRING,
+                functional=False,
+                max_truths=3,
+                literal_vocab="genre",
+            ),
+        ),
+    ),
+    TypeSpec(
+        type_id="music/album",
+        entity_weight=1.6,
+        namer="work_title",
+        predicates=(
+            PredicateSpec(
+                "artist",
+                ValueKind.ENTITY,
+                functional=False,
+                max_truths=2,
+                object_type="people/person",
+            ),
+            PredicateSpec(
+                "album_genre",
+                ValueKind.STRING,
+                functional=False,
+                max_truths=3,
+                literal_vocab="genre",
+            ),
+            PredicateSpec(
+                "release_year", ValueKind.NUMBER, number_range=(1950, 2013)
+            ),
+            PredicateSpec(
+                "label",
+                ValueKind.ENTITY,
+                object_type="organization/organization",
+            ),
+            PredicateSpec("track_count", ValueKind.NUMBER, number_range=(4, 30)),
+        ),
+    ),
+    TypeSpec(
+        type_id="sports/team",
+        entity_weight=1.2,
+        namer="team_name",
+        predicates=(
+            PredicateSpec("sport", ValueKind.STRING, literal_vocab="sport"),
+            PredicateSpec(
+                "home_city",
+                ValueKind.ENTITY,
+                object_type="location/location",
+                hierarchical=True,
+            ),
+            PredicateSpec("coach", ValueKind.ENTITY, object_type="people/person"),
+            PredicateSpec(
+                "championships", ValueKind.NUMBER, number_range=(0, 30)
+            ),
+            PredicateSpec(
+                "player",
+                ValueKind.ENTITY,
+                functional=False,
+                max_truths=8,
+                object_type="people/person",
+            ),
+            PredicateSpec(
+                "team_colors",
+                ValueKind.STRING,
+                functional=False,
+                max_truths=2,
+                literal_vocab="color",
+            ),
+        ),
+    ),
+    TypeSpec(
+        type_id="biology/species",
+        entity_weight=0.8,
+        namer="species_name",
+        predicates=(
+            PredicateSpec(
+                "taxon_class", ValueKind.STRING, literal_vocab="species_class"
+            ),
+            PredicateSpec(
+                "lifespan_years", ValueKind.NUMBER, number_range=(1, 200)
+            ),
+            PredicateSpec(
+                "habitat",
+                ValueKind.STRING,
+                functional=False,
+                max_truths=3,
+                literal_vocab="habitat",
+            ),
+        ),
+    ),
+    TypeSpec(
+        type_id="geography/mountain",
+        entity_weight=0.8,
+        namer="mountain_name",
+        predicates=(
+            PredicateSpec(
+                "elevation_meters", ValueKind.NUMBER, number_range=(800, 8850)
+            ),
+            PredicateSpec(
+                "located_in",
+                ValueKind.ENTITY,
+                object_type="location/location",
+                hierarchical=True,
+            ),
+        ),
+    ),
+    TypeSpec(
+        type_id="tv/series",
+        entity_weight=1.0,
+        namer="work_title",
+        predicates=(
+            PredicateSpec(
+                "first_air_year", ValueKind.NUMBER, number_range=(1950, 2013)
+            ),
+            PredicateSpec(
+                "creator",
+                ValueKind.ENTITY,
+                functional=False,
+                max_truths=2,
+                object_type="people/person",
+            ),
+            PredicateSpec(
+                "cast",
+                ValueKind.ENTITY,
+                functional=False,
+                max_truths=6,
+                object_type="people/person",
+            ),
+            PredicateSpec(
+                "series_genre",
+                ValueKind.STRING,
+                functional=False,
+                max_truths=2,
+                literal_vocab="genre",
+            ),
+        ),
+    ),
+    TypeSpec(
+        type_id="games/game",
+        entity_weight=0.7,
+        namer="work_title",
+        predicates=(
+            PredicateSpec(
+                "release_year", ValueKind.NUMBER, number_range=(1975, 2013)
+            ),
+            PredicateSpec(
+                "developer",
+                ValueKind.ENTITY,
+                object_type="organization/organization",
+                confusable_with="game_publisher",
+            ),
+            PredicateSpec(
+                "game_publisher",
+                ValueKind.ENTITY,
+                object_type="organization/organization",
+                confusable_with="developer",
+            ),
+            PredicateSpec(
+                "platform",
+                ValueKind.STRING,
+                functional=False,
+                max_truths=3,
+                literal_vocab="platform",
+            ),
+        ),
+    ),
+)
+
+# Types that must always be present because other types' predicates point at
+# them (people, locations, organizations are object types everywhere).
+_CORE_TYPES = ("location/location", "organization/organization", "people/person")
+
+
+def selected_types(n_types: int) -> tuple[TypeSpec, ...]:
+    """The first ``n_types`` catalogue entries, always including core types."""
+    n_types = max(2, min(n_types, len(CATALOG)))
+    chosen = list(CATALOG[:n_types])
+    chosen_ids = {spec.type_id for spec in chosen}
+    for core in _CORE_TYPES:
+        if core not in chosen_ids:
+            chosen.append(next(s for s in CATALOG if s.type_id == core))
+            chosen_ids.add(core)
+    return tuple(chosen)
+
+
+def build_schema(n_types: int) -> tuple[Schema, tuple[TypeSpec, ...]]:
+    """Instantiate a :class:`Schema` for the first ``n_types`` catalogue types.
+
+    Predicates whose object type is not among the selected types are
+    dropped, and dangling ``confusable_with`` references are cleared, so the
+    result always validates.
+    """
+    specs = selected_types(n_types)
+    chosen_ids = {spec.type_id for spec in specs}
+    schema = Schema()
+    for spec in specs:
+        schema.add_type(EntityType(spec.type_id))
+    for spec in specs:
+        sibling_names = {p.name for p in spec.predicates}
+        for pred in spec.predicates:
+            object_type_id = pred.object_type
+            if object_type_id is not None and object_type_id not in chosen_ids:
+                continue
+            confusable = None
+            if pred.confusable_with in sibling_names:
+                confusable = f"{spec.type_id}/{pred.confusable_with}"
+            schema.add_predicate(
+                Predicate(
+                    pid=f"{spec.type_id}/{pred.name}",
+                    type_id=spec.type_id,
+                    value_kind=pred.value_kind,
+                    functional=pred.functional,
+                    max_truths=pred.max_truths,
+                    object_type_id=object_type_id,
+                    confusable_with=confusable,
+                    hierarchical=pred.hierarchical,
+                )
+            )
+    schema.validate()
+    return schema, specs
+
+
+def predicate_spec(specs: tuple[TypeSpec, ...], pid: str) -> PredicateSpec:
+    """Look up the :class:`PredicateSpec` behind a full predicate id."""
+    type_id, _, name = pid.rpartition("/")
+    for spec in specs:
+        if spec.type_id == type_id:
+            for pred in spec.predicates:
+                if pred.name == name:
+                    return pred
+    raise KeyError(pid)

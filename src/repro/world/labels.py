@@ -1,0 +1,218 @@
+"""Surface labels and sentence templates shared by renderer and extractors.
+
+Web pages don't print predicate ids; they print *labels* ("Born",
+"Director", a table header "Year") and *phrasings* ("X was born on D in
+P").  This module is the single source of those surfaces:
+
+- the web generator uses them to render assertions;
+- extractor pattern libraries are *sampled* from them (the analogue of
+  patterns learned by distant supervision), possibly with wrong
+  predicate mappings.
+
+Deliberate ambiguity is encoded here, because it is what makes extraction
+hard in the paper: table headers collide across types ("Year" may be a
+release year, a founding year, ...), DOM ``Born`` rows merge a date and a
+place, and annotation ontologies cover only part of the schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kb.schema import Schema, ValueKind
+
+__all__ = [
+    "TemplateSpec",
+    "dom_label",
+    "tbl_header",
+    "ano_prop",
+    "build_templates",
+    "templates_for_predicate",
+]
+
+# -- DOM labels ----------------------------------------------------------
+# Special-cases mirror real infobox labels; everything else prettifies the
+# predicate name.  `born` is special: the renderer may merge birth_date and
+# birth_place under it (see webgen).
+_DOM_SPECIAL = {
+    "birth_date": "Born",
+    "birth_place": "Birthplace",
+    "publication_year": "Published",
+    "release_year": "Released",
+    "first_air_year": "First aired",
+    "founded_year": "Founded",
+    "headquarters": "Headquarters",
+    "hq_city": "Headquarters",
+    "revenue_musd": "Revenue",
+    "area_km2": "Area",
+    "elevation_meters": "Elevation",
+    "lifespan_years": "Lifespan",
+    "track_count": "Tracks",
+    "taxon_class": "Class",
+    "game_publisher": "Publisher",
+}
+
+
+def _pretty(name: str) -> str:
+    return name.replace("_", " ").capitalize()
+
+
+def dom_label(pid: str) -> str:
+    """The infobox row label a page prints for predicate ``pid``."""
+    name = pid.rsplit("/", 1)[-1]
+    return _DOM_SPECIAL.get(name, _pretty(name))
+
+
+# -- Table headers -------------------------------------------------------
+# Headers are *coarser* than DOM labels: every ``*_year`` predicate renders
+# as "Year", both publishers as "Publisher", etc.  This is the ambiguity
+# TBL schema mapping must resolve (well: TBL2; badly: TBL1).
+_TBL_COARSE = {
+    "release_year": "Year",
+    "publication_year": "Year",
+    "founded_year": "Year",
+    "first_air_year": "Year",
+    "birth_date": "Born",
+    "game_publisher": "Publisher",
+    "publisher": "Publisher",
+    "hq_city": "City",
+    "home_city": "City",
+    "birth_place": "City",
+    "headquarters": "City",
+    "revenue_musd": "Revenue",
+    "area_km2": "Area",
+    "elevation_meters": "Elevation",
+}
+
+
+def tbl_header(pid: str) -> str:
+    """The table-column header a page prints for predicate ``pid``."""
+    name = pid.rsplit("/", 1)[-1]
+    return _TBL_COARSE.get(name, _pretty(name))
+
+
+def header_candidates(schema: Schema, header: str) -> list[str]:
+    """All predicates that could hide behind a printed ``header``."""
+    return sorted(
+        pid for pid in schema.predicates if tbl_header(pid) == header
+    )
+
+
+# -- Annotation itemprops -------------------------------------------------
+def ano_prop(pid: str) -> str:
+    """camelCase itemprop (schema.org style) for predicate ``pid``."""
+    name = pid.rsplit("/", 1)[-1]
+    head, *rest = name.split("_")
+    return head + "".join(word.capitalize() for word in rest)
+
+
+# -- Sentence templates ----------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class TemplateSpec:
+    """One sentence phrasing.
+
+    ``slots`` gives the predicate asserted by each object position.  A
+    *merged* template has slots of different predicates (the "born on D in
+    P" sentence); a *conjunction* template repeats one predicate twice.
+    ``fmt`` uses ``{subj}``, ``{obj0}``, ``{obj1}``.
+    """
+
+    template_id: str
+    slots: tuple[str, ...]
+    fmt: str
+    weight: float = 1.0
+
+    @property
+    def merged(self) -> bool:
+        return len(set(self.slots)) > 1
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.slots)
+
+
+def _single_formats(pid: str, kind: ValueKind) -> list[str]:
+    label = dom_label(pid).lower()
+    name = pid.rsplit("/", 1)[-1]
+    if name == "birth_date":
+        return ["{subj} was born on {obj0}.", "Born on {obj0}, {subj} rose to fame."]
+    if name == "birth_place":
+        return ["{subj} was born in {obj0}.", "{subj}, a native of {obj0}."]
+    if name in ("director", "creator"):
+        return ["{obj0} directed {subj}.", "{subj} was directed by {obj0}."]
+    if name == "author":
+        return ["{subj} was written by {obj0}.", "{obj0} is the author of {subj}."]
+    if name in ("actor", "cast"):
+        return ["{obj0} starred in {subj}.", "{subj} features {obj0}."]
+    if name == "spouse":
+        return ["{subj} married {obj0}.", "{subj}'s spouse is {obj0}."]
+    if kind is ValueKind.NUMBER:
+        return [
+            "{subj} has a " + label + " of {obj0}.",
+            "The " + label + " of {subj} is {obj0}.",
+        ]
+    return [
+        "{subj}'s " + label + " is {obj0}.",
+        "The " + label + " of {subj} is {obj0}.",
+    ]
+
+
+def build_templates(schema: Schema) -> dict[str, TemplateSpec]:
+    """Instantiate the full template registry for ``schema``.
+
+    Deterministic: template ids derive from predicate ids.  Includes, per
+    predicate, 2 single-slot phrasings; per non-functional predicate, 1
+    conjunction phrasing; and per type that has both birth_date and
+    birth_place, the merged "born on D in P" phrasing.
+    """
+    templates: dict[str, TemplateSpec] = {}
+
+    def register(spec: TemplateSpec) -> None:
+        templates[spec.template_id] = spec
+
+    for pid, predicate in sorted(schema.predicates.items()):
+        key = pid.replace("/", ".")
+        for i, fmt in enumerate(_single_formats(pid, predicate.value_kind)):
+            register(
+                TemplateSpec(
+                    template_id=f"t.{key}.{i}",
+                    slots=(pid,),
+                    fmt=fmt,
+                    weight=1.0 if i == 0 else 0.5,
+                )
+            )
+        if not predicate.functional:
+            label = dom_label(pid).lower()
+            register(
+                TemplateSpec(
+                    template_id=f"t.{key}.conj",
+                    slots=(pid, pid),
+                    fmt="{subj}'s " + label + "s include {obj0} and {obj1}.",
+                    weight=0.6,
+                )
+            )
+
+    # Merged born-sentence per type carrying both predicates.
+    by_type: dict[str, dict[str, str]] = {}
+    for pid, predicate in schema.predicates.items():
+        name = pid.rsplit("/", 1)[-1]
+        if name in ("birth_date", "birth_place"):
+            by_type.setdefault(predicate.type_id, {})[name] = pid
+    for type_id, pair in sorted(by_type.items()):
+        if {"birth_date", "birth_place"} <= set(pair):
+            register(
+                TemplateSpec(
+                    template_id=f"t.{type_id.replace('/', '.')}.born_full",
+                    slots=(pair["birth_date"], pair["birth_place"]),
+                    fmt="{subj} was born on {obj0} in {obj1}.",
+                    weight=0.8,
+                )
+            )
+    return templates
+
+
+def templates_for_predicate(
+    templates: dict[str, TemplateSpec], pid: str
+) -> list[TemplateSpec]:
+    """Templates whose *first* slot asserts ``pid`` (renderer's menu)."""
+    return [spec for spec in templates.values() if spec.slots[0] == pid]

@@ -1,0 +1,111 @@
+"""Rendering literal values to surfaces, and parsing them back.
+
+The renderer prints a :class:`~repro.kb.values.Value` the way a web page
+would; extractors must parse the surface back.  Date formats are the
+deliberate hazard: ISO (``1962-07-03``) is unambiguous, the US form
+(``7/3/1962``) is month-first, the EU form (``3.7.1962``) is day-first.  A
+*naive* parser assumes month-first for any separator and therefore swaps
+day and month on EU-styled pages whenever the day is a valid month — a
+mechanically-generated triple-identification error of exactly the kind the
+paper attributes to extractors.
+"""
+
+from __future__ import annotations
+
+from repro.kb.values import DateValue, NumberValue, StringValue, Value
+
+__all__ = [
+    "render_value",
+    "parse_literal",
+    "parse_literal_naive",
+    "DATE_STYLE_ISO",
+    "DATE_STYLE_US",
+    "DATE_STYLE_EU",
+]
+
+DATE_STYLE_ISO = "iso"
+DATE_STYLE_US = "us"
+DATE_STYLE_EU = "eu"
+
+
+def render_value(value: Value, date_style: str = DATE_STYLE_ISO, grouped_numbers: bool = False) -> str:
+    """Render a literal value as page text.
+
+    Entity values are *not* rendered here — the web generator renders them
+    through surface forms (names/aliases) because that is where entity
+    linkage difficulty comes from.
+    """
+    if isinstance(value, DateValue):
+        year, month, day = (int(x) for x in value.iso.split("-"))
+        if date_style == DATE_STYLE_US:
+            return f"{month}/{day}/{year}"
+        if date_style == DATE_STYLE_EU:
+            return f"{day}.{month}.{year}"
+        return value.iso
+    if isinstance(value, NumberValue):
+        if float(value.value).is_integer():
+            text = f"{int(value.value):,}" if grouped_numbers else str(int(value.value))
+        else:
+            text = f"{value.value:g}"
+        return text
+    if isinstance(value, StringValue):
+        return value.text
+    raise TypeError(f"not a literal value: {value!r}")
+
+
+def _parse_date(surface: str, assume_month_first: bool) -> DateValue | None:
+    surface = surface.strip()
+    if "-" in surface:
+        parts = surface.split("-")
+        if len(parts) == 3 and all(p.isdigit() for p in parts):
+            year, month, day = (int(p) for p in parts)
+            if 1 <= month <= 12 and 1 <= day <= 31:
+                return DateValue(f"{year:04d}-{month:02d}-{day:02d}")
+        return None
+    for separator, month_first in (("/", True), (".", False)):
+        if separator in surface:
+            parts = surface.split(separator)
+            if len(parts) != 3 or not all(p.isdigit() for p in parts):
+                return None
+            a, b, year = (int(p) for p in parts)
+            if assume_month_first or month_first:
+                month, day = a, b
+            else:
+                day, month = a, b
+            if not (1 <= month <= 12 and 1 <= day <= 31):
+                # A correct parser falls back to the only valid reading.
+                month, day = day, month
+                if not (1 <= month <= 12 and 1 <= day <= 31):
+                    return None
+            return DateValue(f"{year:04d}-{month:02d}-{day:02d}")
+    return None
+
+
+def _parse_number(surface: str) -> NumberValue | None:
+    text = surface.strip().replace(",", "")
+    try:
+        return NumberValue(float(text))
+    except ValueError:
+        return None
+
+
+def parse_literal(surface: str, kind: str) -> Value | None:
+    """Correct parser: knows each separator's convention."""
+    if kind == "date":
+        return _parse_date(surface, assume_month_first=False)
+    if kind == "number":
+        return _parse_number(surface)
+    if kind == "string":
+        return StringValue(surface)
+    return None
+
+
+def parse_literal_naive(surface: str, kind: str) -> Value | None:
+    """Naive parser: assumes month-first for *any* separated date.
+
+    On EU-styled surfaces this swaps day and month whenever the printed day
+    is ≤ 12 — producing a wrong-but-plausible value.
+    """
+    if kind == "date":
+        return _parse_date(surface, assume_month_first=True)
+    return parse_literal(surface, kind)

@@ -1,0 +1,44 @@
+"""Shared fixtures.
+
+The tiny scenario is session-scoped: it is deterministic, so sharing it
+across tests is safe, and it keeps the suite fast (generation is the
+expensive part).  Tests that mutate state build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import ScenarioConfig, build_scenario, tiny_config
+from repro.world.config import WebConfig, WorldConfig
+from repro.world.worldgen import generate_world
+
+
+@pytest.fixture(scope="session")
+def tiny_scenario():
+    """The default deterministic test scenario."""
+    return build_scenario(tiny_config(seed=7))
+
+
+@pytest.fixture(scope="session")
+def tiny_scenario_alt_seed():
+    """Same configuration, different seed (for determinism contrasts)."""
+    return build_scenario(tiny_config(seed=8))
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A standalone world (no web corpus) for world-level tests."""
+    return generate_world(WorldConfig(n_types=8, n_entities=200), seed=3)
+
+
+@pytest.fixture(scope="session")
+def micro_scenario():
+    """An even smaller scenario for the expensive sweeps."""
+    return build_scenario(
+        ScenarioConfig(
+            seed=5,
+            world=WorldConfig(n_types=5, n_entities=80),
+            web=WebConfig(n_sites=8, n_pages=50),
+        )
+    )

@@ -1,0 +1,104 @@
+"""Unit tests for calibration curves, deviation, weighted deviation."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.calibration import calibration_curve, deviation, weighted_deviation
+from repro.kb.triples import Triple
+from repro.kb.values import StringValue
+
+
+def t(name):
+    return Triple("/m/1", "t/t/p", StringValue(name))
+
+
+class TestBucketing:
+    def test_probability_one_gets_own_bucket(self):
+        curve = calibration_curve({t("a"): 1.0}, {t("a"): True})
+        assert curve.buckets[-1].count == 1
+        assert curve.buckets[-1].low == 1.0
+
+    def test_probability_below_one_in_regular_bucket(self):
+        curve = calibration_curve({t("a"): 0.97}, {t("a"): True})
+        assert curve.buckets[19].count == 1
+        assert curve.buckets[20].count == 0
+
+    def test_unlabelled_triples_ignored(self):
+        curve = calibration_curve({t("a"): 0.5, t("b"): 0.5}, {t("a"): True})
+        assert curve.n_labelled == 1
+
+    def test_real_probability_is_true_fraction(self):
+        probabilities = {t("a"): 0.42, t("b"): 0.44, t("c"): 0.41, t("d"): 0.43}
+        gold = {t("a"): True, t("b"): True, t("c"): False, t("d"): False}
+        curve = calibration_curve(probabilities, gold)
+        bucket = curve.buckets[8]  # [0.40, 0.45)
+        assert bucket.count == 4
+        assert bucket.real == pytest.approx(0.5)
+
+    def test_predicted_is_mean_probability(self):
+        probabilities = {t("a"): 0.42, t("b"): 0.44}
+        gold = {t("a"): True, t("b"): False}
+        curve = calibration_curve(probabilities, gold)
+        assert curve.buckets[8].predicted == pytest.approx(0.43)
+
+    def test_out_of_range_probability_rejected(self):
+        with pytest.raises(EvaluationError):
+            calibration_curve({t("a"): 1.5}, {t("a"): True})
+
+    def test_bad_bucket_count_rejected(self):
+        with pytest.raises(EvaluationError):
+            calibration_curve({t("a"): 0.5}, {t("a"): True}, n_buckets=0)
+
+    def test_points_skip_empty_buckets(self):
+        curve = calibration_curve({t("a"): 0.5}, {t("a"): True})
+        assert len(curve.points()) == 1
+
+
+class TestDeviation:
+    def test_perfect_calibration_zero_deviation(self):
+        # 100 triples at p=0.5, half true: bucket real = 0.5 = predicted.
+        probabilities = {}
+        gold = {}
+        for i in range(100):
+            triple = t(f"x{i}")
+            probabilities[triple] = 0.5
+            gold[triple] = i % 2 == 0
+        curve = calibration_curve(probabilities, gold)
+        assert deviation(curve) == pytest.approx(0.0)
+        assert weighted_deviation(curve) == pytest.approx(0.0)
+
+    def test_total_miscalibration(self):
+        probabilities = {t("a"): 1.0}
+        gold = {t("a"): False}
+        curve = calibration_curve(probabilities, gold)
+        assert deviation(curve) == pytest.approx(1.0)
+        assert weighted_deviation(curve) == pytest.approx(1.0)
+
+    def test_weighting_matters(self):
+        # One bucket with 99 well-calibrated triples, one with 1 bad triple:
+        # the unweighted deviation averages buckets; the weighted one is
+        # dominated by the big bucket.
+        probabilities = {}
+        gold = {}
+        for i in range(98):
+            triple = t(f"good{i}")
+            probabilities[triple] = 0.5
+            gold[triple] = i % 2 == 0
+        probabilities[t("bad")] = 0.99
+        gold[t("bad")] = False
+        curve = calibration_curve(probabilities, gold)
+        assert weighted_deviation(curve) < deviation(curve)
+
+    def test_empty_curve_rejected(self):
+        curve = calibration_curve({}, {})
+        with pytest.raises(EvaluationError):
+            deviation(curve)
+        with pytest.raises(EvaluationError):
+            weighted_deviation(curve)
+
+    def test_curve_methods_match_functions(self):
+        probabilities = {t("a"): 0.7, t("b"): 0.2}
+        gold = {t("a"): True, t("b"): False}
+        curve = calibration_curve(probabilities, gold)
+        assert curve.deviation() == deviation(curve)
+        assert curve.weighted_deviation() == weighted_deviation(curve)

@@ -1,0 +1,95 @@
+"""Unit tests for the GoldStandard wrapper."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.gold import GoldStandard
+from repro.kb.triples import DataItem, Triple
+from repro.kb.values import StringValue
+
+
+def t(subject, obj, predicate="t/t/p"):
+    return Triple(subject, predicate, StringValue(obj))
+
+
+@pytest.fixture
+def gold():
+    return GoldStandard(
+        labels={
+            t("/m/1", "a"): True,
+            t("/m/1", "b"): False,
+            t("/m/2", "c", "t/t/q"): True,
+            t("/m/2", "d", "t/t/q"): True,
+            t("/m/3", "e"): False,
+        }
+    )
+
+
+class TestBasics:
+    def test_len_and_contains(self, gold):
+        assert len(gold) == 5
+        assert t("/m/1", "a") in gold
+        assert t("/m/9", "zz") not in gold
+
+    def test_label(self, gold):
+        assert gold.label(t("/m/1", "a")) is True
+        assert gold.label(t("/m/9", "zz")) is None
+
+
+class TestAccuracyAndCoverage:
+    def test_accuracy(self, gold):
+        assert gold.accuracy([t("/m/1", "a"), t("/m/1", "b")]) == pytest.approx(0.5)
+
+    def test_accuracy_unlabelled_none(self, gold):
+        assert gold.accuracy([t("/m/9", "zz")]) is None
+
+    def test_coverage(self, gold):
+        assert gold.coverage([t("/m/1", "a"), t("/m/9", "zz")]) == pytest.approx(0.5)
+
+    def test_coverage_empty_rejected(self, gold):
+        with pytest.raises(EvaluationError):
+            gold.coverage([])
+
+
+class TestSlices:
+    def test_by_predicate(self, gold):
+        grouped = gold.by_predicate()
+        assert len(grouped["t/t/p"]) == 3
+        assert len(grouped["t/t/q"]) == 2
+
+    def test_predicate_accuracy(self, gold):
+        accuracy = gold.predicate_accuracy()
+        assert accuracy["t/t/q"] == pytest.approx(1.0)
+        assert accuracy["t/t/p"] == pytest.approx(1 / 3)
+
+    def test_predicate_accuracy_min_labelled(self, gold):
+        accuracy = gold.predicate_accuracy(min_labelled=3)
+        assert "t/t/q" not in accuracy
+        assert "t/t/p" in accuracy
+
+    def test_truth_counts(self, gold):
+        counts = gold.truth_counts()
+        assert counts[DataItem("/m/1", "t/t/p")] == 1
+        assert counts[DataItem("/m/2", "t/t/q")] == 2
+        assert counts[DataItem("/m/3", "t/t/p")] == 0
+
+    def test_items_with_truths(self, gold):
+        assert DataItem("/m/2", "t/t/q") in gold.items_with_truths(at_least=2)
+        assert DataItem("/m/1", "t/t/p") not in gold.items_with_truths(at_least=2)
+
+    def test_true_false_partition(self, gold):
+        assert len(gold.true_triples()) == 3
+        assert len(gold.false_triples()) == 2
+        assert set(gold.true_triples()) | set(gold.false_triples()) == set(
+            gold.labels
+        )
+
+
+class TestOnScenario:
+    def test_wraps_scenario_gold(self, tiny_scenario):
+        gold = GoldStandard(labels=tiny_scenario.gold)
+        stats = tiny_scenario.extraction_stats()
+        accuracy = gold.accuracy(tiny_scenario.unique_triples())
+        assert accuracy == pytest.approx(stats["gold_accuracy"])
+        per_predicate = gold.predicate_accuracy(min_labelled=5)
+        assert per_predicate  # several predicates have enough labels

@@ -1,0 +1,51 @@
+"""Unit tests for the Kappa measure (Eq. 1)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.kappa import kappa
+
+
+class TestKappa:
+    def test_identical_sets_positive(self):
+        universe = set(range(100))
+        assert kappa({1, 2, 3}, {1, 2, 3}, universe) > 0
+
+    def test_disjoint_sets_negative(self):
+        universe = set(range(100))
+        assert kappa(set(range(50)), set(range(50, 100)), universe) < 0
+
+    def test_independent_expected_overlap_near_zero(self):
+        # |T1∩T2| == |T1||T2|/|KB| makes the numerator exactly zero.
+        universe = set(range(100))
+        t1 = set(range(50))  # half
+        t2 = set(range(25, 75))  # half, overlapping 25 = 50*50/100
+        assert kappa(t1, t2, universe) == pytest.approx(0.0)
+
+    def test_formula_exact(self):
+        universe = set(range(10))
+        t1 = {0, 1, 2}
+        t2 = {2, 3}
+        expected = (1 * 10 - 3 * 2) / (100 - 3 * 2)
+        assert kappa(t1, t2, universe) == pytest.approx(expected)
+
+    def test_symmetry(self):
+        universe = set(range(30))
+        t1, t2 = {1, 2, 3, 4}, {3, 4, 5}
+        assert kappa(t1, t2, universe) == kappa(t2, t1, universe)
+
+    def test_full_universe_pair(self):
+        universe = set(range(5))
+        assert kappa(universe, universe, universe) == 1.0
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(EvaluationError):
+            kappa(set(), set(), set())
+
+    def test_non_subset_rejected(self):
+        with pytest.raises(EvaluationError):
+            kappa({99}, set(), {1, 2})
+
+    def test_bounded_above_by_one(self):
+        universe = set(range(50))
+        assert kappa(set(range(20)), set(range(20)), universe) <= 1.0

@@ -1,0 +1,107 @@
+"""Unit tests for the extractor base class and profile validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.extract.base import ExtractorProfile
+from repro.extract.linkage import EntityLinker
+from repro.extract.text import TextExtractor
+from repro.world.labels import build_templates
+from repro.world.webgen import WebPage
+
+
+def make_profile(**kwargs):
+    defaults = dict(name="X", content_types=("TXT",))
+    defaults.update(kwargs)
+    return ExtractorProfile(**defaults)
+
+
+class TestProfileValidation:
+    def test_defaults_valid(self):
+        make_profile()
+
+    def test_no_content_types_rejected(self):
+        with pytest.raises(ConfigError):
+            make_profile(content_types=())
+
+    def test_unknown_content_type_rejected(self):
+        with pytest.raises(ConfigError):
+            make_profile(content_types=("VIDEO",))
+
+    @pytest.mark.parametrize(
+        "field", ["page_coverage", "pattern_coverage", "wrong_predicate_rate",
+                  "reliability_mean", "mangle_rate", "misgrab_rate"],
+    )
+    def test_rates_must_be_probabilities(self, field):
+        with pytest.raises(ConfigError):
+            make_profile(**{field: 1.5})
+
+
+@pytest.fixture
+def text_extractor(small_world):
+    profile = make_profile(name="T", page_coverage=0.5, site_categories=("wiki",))
+    linker = EntityLinker("EL-A", small_world.entities, small_world.popularity, seed=1)
+    templates = build_templates(small_world.schema)
+    return TextExtractor(profile, small_world.schema, linker, templates, seed=1)
+
+
+def page(url="http://wiki0.example.org/p1", category="wiki"):
+    return WebPage(
+        url=url,
+        site=url.split("/")[2],
+        category=category,
+        assertions=(),
+        elements=(),
+    )
+
+
+class TestCoverage:
+    def test_category_restriction(self, text_extractor):
+        assert not text_extractor.covers(page(category="general"))
+
+    def test_coverage_deterministic(self, text_extractor):
+        p = page()
+        assert text_extractor.covers(p) == text_extractor.covers(p)
+
+    def test_coverage_rate_respected(self, small_world):
+        linker = EntityLinker(
+            "EL-A", small_world.entities, small_world.popularity, seed=1
+        )
+        templates = build_templates(small_world.schema)
+        profile = make_profile(name="half", page_coverage=0.5)
+        extractor = TextExtractor(
+            profile, small_world.schema, linker, templates, seed=1
+        )
+        covered = sum(
+            extractor.covers(page(url=f"http://s.org/p{i}", category="general"))
+            for i in range(400)
+        )
+        assert 120 <= covered <= 280  # ~50% with deterministic hash draws
+
+    def test_full_coverage(self, small_world):
+        linker = EntityLinker(
+            "EL-A", small_world.entities, small_world.popularity, seed=1
+        )
+        templates = build_templates(small_world.schema)
+        extractor = TextExtractor(
+            make_profile(name="full"), small_world.schema, linker, templates, seed=1
+        )
+        assert all(
+            extractor.covers(page(url=f"http://s.org/p{i}", category="general"))
+            for i in range(50)
+        )
+
+
+class TestReliability:
+    def test_reliability_deterministic(self, text_extractor):
+        assert text_extractor.reliability_for("k") == text_extractor.reliability_for(
+            "k"
+        )
+
+    def test_reliability_varies_by_key(self, text_extractor):
+        values = {text_extractor.reliability_for(f"k{i}") for i in range(20)}
+        assert len(values) > 10
+
+    def test_reliability_in_unit_interval(self, text_extractor):
+        for i in range(50):
+            assert 0.0 <= text_extractor.reliability_for(f"k{i}") <= 1.0

@@ -1,0 +1,98 @@
+"""Unit tests for the shared entity linkers."""
+
+import pytest
+
+from repro.extract.linkage import EntityLinker
+from repro.kb.entities import Entity, EntityRegistry
+
+
+@pytest.fixture
+def registry():
+    reg = EntityRegistry()
+    reg.add(Entity("/m/book", ("book/book",), "Les Miserables"))
+    reg.add(
+        Entity(
+            "/m/show",
+            ("theater/show",),
+            "Les Miserables Show",
+            aliases=("Les Miserables",),
+        )
+    )
+    reg.add(Entity("/m/tom", ("people/person",), "Tom Cruise"))
+    return reg
+
+
+def make_linker(registry, name="EL-A", popularity=None):
+    return EntityLinker(
+        name=name,
+        registry=registry,
+        popularity=popularity or {"/m/book": 0.9, "/m/show": 0.1, "/m/tom": 0.5},
+        seed=1,
+    )
+
+
+class TestResolution:
+    def test_unambiguous_surface(self, registry):
+        assert make_linker(registry).resolve("Tom Cruise") == "/m/tom"
+
+    def test_unknown_surface_is_none(self, registry):
+        assert make_linker(registry).resolve("Nobody Special") is None
+
+    def test_ambiguous_surface_resolves_deterministically(self, registry):
+        linker = make_linker(registry)
+        first = linker.resolve("Les Miserables")
+        assert first in {"/m/book", "/m/show"}
+        for _ in range(5):
+            assert linker.resolve("Les Miserables") == first
+
+    def test_type_hint_filters_candidates(self, registry):
+        linker = make_linker(registry)
+        assert linker.resolve("Les Miserables", type_hint="theater/show") == "/m/show"
+        assert linker.resolve("Les Miserables", type_hint="book/book") == "/m/book"
+
+    def test_type_hint_can_eliminate_all(self, registry):
+        assert (
+            make_linker(registry).resolve("Tom Cruise", type_hint="book/book") is None
+        )
+
+    def test_popularity_dominates_for_lopsided_priors(self, registry):
+        linker = make_linker(
+            registry, popularity={"/m/book": 100.0, "/m/show": 0.001, "/m/tom": 1.0}
+        )
+        assert linker.resolve("Les Miserables") == "/m/book"
+
+
+class TestSharedMistakes:
+    def test_same_linker_name_same_answers(self, registry):
+        a = make_linker(registry, "EL-A")
+        b = make_linker(registry, "EL-A")
+        assert a.resolve("Les Miserables") == b.resolve("Les Miserables")
+
+    def test_different_linkers_can_disagree_somewhere(self):
+        # Build many ambiguous surfaces with near-equal popularity; the two
+        # linkers' biases must disagree on at least one of them.
+        registry = EntityRegistry()
+        popularity = {}
+        for i in range(40):
+            a, b = f"/m/a{i}", f"/m/b{i}"
+            registry.add(Entity(a, ("t/t",), f"Name{i}"))
+            registry.add(Entity(b, ("t/t",), f"Other{i}", aliases=(f"Name{i}",)))
+            popularity[a] = 1.0
+            popularity[b] = 1.0
+        el_a = EntityLinker("EL-A", registry, popularity, seed=1)
+        el_b = EntityLinker("EL-B", registry, popularity, seed=1)
+        answers_a = [el_a.resolve(f"Name{i}") for i in range(40)]
+        answers_b = [el_b.resolve(f"Name{i}") for i in range(40)]
+        assert answers_a != answers_b
+
+
+class TestAmbiguity:
+    def test_ambiguity_counts_candidates(self, registry):
+        linker = make_linker(registry)
+        assert linker.ambiguity("Les Miserables") == 2
+        assert linker.ambiguity("Tom Cruise") == 1
+        assert linker.ambiguity("Nobody") == 0
+
+    def test_ambiguity_respects_hint(self, registry):
+        linker = make_linker(registry)
+        assert linker.ambiguity("Les Miserables", type_hint="book/book") == 1

@@ -1,0 +1,130 @@
+"""Unit tests for the extraction pipeline and error classification."""
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.extract.pipeline import ExtractionPipeline, classify_record
+from repro.extract.records import ErrorKind, ExtractionDebug, ExtractionRecord
+from repro.kb.triples import Triple
+from repro.kb.values import EntityRef, StringValue
+from repro.world.facts import SourceAssertion
+from repro.world.webgen import WebPage
+
+ASSERTED = Triple("/m/1", "t/t/p", EntityRef("/m/2"))
+
+
+def make_page(source_error=False):
+    return WebPage(
+        url="http://s.org/p",
+        site="s.org",
+        category="general",
+        assertions=(
+            SourceAssertion(
+                triple=ASSERTED, true_in_world=not source_error, exact=True
+            ),
+        ),
+        elements=(),
+    )
+
+
+def make_record(triple, **debug_kwargs):
+    return ExtractionRecord(
+        triple=triple,
+        extractor="X",
+        url="http://s.org/p",
+        site="s.org",
+        content_type="DOM",
+        debug=ExtractionDebug(**debug_kwargs),
+    )
+
+
+class TestClassification:
+    def test_exact_match_is_clean(self):
+        record = classify_record(make_record(ASSERTED, asserted_index=0), make_page())
+        assert record.debug.error_kind is None
+        assert record.debug.source_error is False
+
+    def test_exact_match_carries_source_error(self):
+        record = classify_record(
+            make_record(ASSERTED, asserted_index=0), make_page(source_error=True)
+        )
+        assert record.debug.error_kind is None
+        assert record.debug.source_error is True
+
+    def test_fabricated_mention_is_triple_identification(self):
+        record = classify_record(
+            make_record(ASSERTED, asserted_index=None), make_page()
+        )
+        assert record.debug.error_kind is ErrorKind.TRIPLE_IDENTIFICATION
+
+    def test_span_corruption_is_triple_identification(self):
+        wrong = Triple("/m/1", "t/t/p", StringValue("Mapother"))
+        record = classify_record(
+            make_record(wrong, asserted_index=0, span_corrupted=True), make_page()
+        )
+        assert record.debug.error_kind is ErrorKind.TRIPLE_IDENTIFICATION
+
+    def test_slot_mismatch_is_triple_identification(self):
+        wrong = Triple("/m/1", "t/t/q", EntityRef("/m/2"))
+        record = classify_record(
+            make_record(wrong, asserted_index=0, slot_mismatch=True), make_page()
+        )
+        assert record.debug.error_kind is ErrorKind.TRIPLE_IDENTIFICATION
+
+    def test_predicate_change_is_predicate_linkage(self):
+        wrong = Triple("/m/1", "t/t/other", EntityRef("/m/2"))
+        record = classify_record(make_record(wrong, asserted_index=0), make_page())
+        assert record.debug.error_kind is ErrorKind.PREDICATE_LINKAGE
+
+    def test_wrong_entity_is_entity_linkage(self):
+        wrong = Triple("/m/1", "t/t/p", EntityRef("/m/999"))
+        record = classify_record(make_record(wrong, asserted_index=0), make_page())
+        assert record.debug.error_kind is ErrorKind.ENTITY_LINKAGE
+
+    def test_string_fallback_is_entity_linkage(self):
+        wrong = Triple("/m/1", "t/t/p", StringValue("Some Surface"))
+        record = classify_record(make_record(wrong, asserted_index=0), make_page())
+        assert record.debug.error_kind is ErrorKind.ENTITY_LINKAGE
+
+    def test_wrong_subject_is_entity_linkage(self):
+        wrong = Triple("/m/777", "t/t/p", EntityRef("/m/2"))
+        record = classify_record(make_record(wrong, asserted_index=0), make_page())
+        assert record.debug.error_kind is ErrorKind.ENTITY_LINKAGE
+
+    def test_error_implies_no_source_error_attribution(self):
+        wrong = Triple("/m/1", "t/t/p", EntityRef("/m/999"))
+        record = classify_record(
+            make_record(wrong, asserted_index=0), make_page(source_error=True)
+        )
+        assert record.debug.source_error is False
+
+    def test_stripped_debug_rejected(self):
+        record = make_record(ASSERTED, asserted_index=0).without_debug()
+        with pytest.raises(ExtractionError):
+            classify_record(record, make_page())
+
+
+class TestPipeline:
+    def test_runs_all_extractors(self, tiny_scenario):
+        names = {r.extractor for r in tiny_scenario.records}
+        # Wiki-only extractors may be absent if the tiny corpus rendered no
+        # wiki TXT pages, but the main families must be present.
+        assert {"DOM1", "DOM2", "TXT1"} <= names
+
+    def test_all_records_classified(self, tiny_scenario):
+        for record in tiny_scenario.records:
+            assert record.debug is not None
+            # either clean or a concrete error kind
+            assert record.debug.error_kind is None or isinstance(
+                record.debug.error_kind, ErrorKind
+            )
+
+    def test_by_name(self, tiny_scenario):
+        extractor = tiny_scenario.pipeline.by_name("TXT1")
+        assert extractor.name == "TXT1"
+        with pytest.raises(ExtractionError):
+            tiny_scenario.pipeline.by_name("TXT99")
+
+    def test_deterministic_rerun(self, tiny_scenario):
+        records = tiny_scenario.pipeline.run(tiny_scenario.corpus)
+        assert records == tiny_scenario.records

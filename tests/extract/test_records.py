@@ -1,0 +1,70 @@
+"""Unit tests for extraction records and the debug channel."""
+
+from repro.extract.records import ErrorKind, ExtractionDebug, ExtractionRecord
+from repro.kb.triples import Triple
+from repro.kb.values import StringValue
+
+
+def make_record(**kwargs):
+    defaults = dict(
+        triple=Triple("/m/1", "p/t/a", StringValue("x")),
+        extractor="TXT1",
+        url="http://s.org/p1",
+        site="s.org",
+        content_type="TXT",
+        pattern="TXT1:t.p",
+        confidence=0.7,
+        debug=ExtractionDebug(asserted_index=0),
+    )
+    defaults.update(kwargs)
+    return ExtractionRecord(**defaults)
+
+
+class TestWithoutDebug:
+    def test_strips_debug(self):
+        record = make_record()
+        public = record.without_debug()
+        assert public.debug is None
+        assert public.triple == record.triple
+        assert public.confidence == record.confidence
+
+    def test_noop_when_already_stripped(self):
+        record = make_record(debug=None)
+        assert record.without_debug() is record
+
+
+class TestErrorFlags:
+    def test_extraction_error_flag(self):
+        record = make_record(
+            debug=ExtractionDebug(
+                asserted_index=0, error_kind=ErrorKind.ENTITY_LINKAGE
+            )
+        )
+        assert record.is_extraction_error
+        assert not record.is_source_error
+
+    def test_source_error_flag(self):
+        record = make_record(
+            debug=ExtractionDebug(asserted_index=0, source_error=True)
+        )
+        assert record.is_source_error
+        assert not record.is_extraction_error
+
+    def test_clean_record(self):
+        record = make_record()
+        assert not record.is_extraction_error
+        assert not record.is_source_error
+
+    def test_flags_false_without_debug(self):
+        record = make_record(debug=None)
+        assert not record.is_extraction_error
+        assert not record.is_source_error
+
+
+class TestErrorKinds:
+    def test_three_paper_categories(self):
+        assert {k.value for k in ErrorKind} == {
+            "triple_identification",
+            "entity_linkage",
+            "predicate_linkage",
+        }

@@ -1,0 +1,68 @@
+"""Unit tests for VOTE."""
+
+import pytest
+
+from repro.extract.records import ExtractionRecord
+from repro.fusion import FusionInput, vote
+from repro.kb.triples import Triple
+from repro.kb.values import StringValue
+
+
+def rec(subject, obj, url):
+    return ExtractionRecord(
+        triple=Triple(subject, "t/t/p", StringValue(obj)),
+        extractor="E",
+        url=url,
+        site=url.split("/")[2],
+        content_type="TXT",
+    )
+
+
+class TestVote:
+    def test_paper_example_seven_of_ten(self):
+        """§4.2's worked example: 7 provenances vs 1+1+1 gives 0.7."""
+        records = [rec("/m/1", "a", f"http://s{i}.org/p") for i in range(7)]
+        records += [
+            rec("/m/1", other, f"http://t{i}.org/p")
+            for i, other in enumerate(["b", "c", "d"])
+        ]
+        result = vote().fuse(FusionInput(records))
+        probs = {t.obj.text: p for t, p in result.probabilities.items()}
+        assert probs["a"] == pytest.approx(0.7)
+        assert probs["b"] == pytest.approx(0.1)
+
+    def test_single_claim_item_gets_probability_one(self):
+        result = vote().fuse(FusionInput([rec("/m/1", "a", "http://s.org/p")]))
+        assert list(result.probabilities.values()) == [1.0]
+
+    def test_two_way_conflict_gives_half(self):
+        records = [
+            rec("/m/1", "a", "http://s.org/p"),
+            rec("/m/1", "b", "http://t.org/p"),
+        ]
+        result = vote().fuse(FusionInput(records))
+        assert set(result.probabilities.values()) == {0.5}
+
+    def test_item_probabilities_sum_to_one(self, tiny_scenario):
+        from collections import defaultdict
+
+        result = vote().fuse(tiny_scenario.fusion_input())
+        by_item = defaultdict(float)
+        for triple, probability in result.probabilities.items():
+            by_item[triple.data_item] += probability
+        for item, total in by_item.items():
+            assert total == pytest.approx(1.0, abs=1e-9), item
+
+    def test_duplicate_records_do_not_double_count(self):
+        records = [rec("/m/1", "a", "http://s.org/p")] * 5 + [
+            rec("/m/1", "b", "http://t.org/p")
+        ]
+        result = vote().fuse(FusionInput(records))
+        probs = {t.obj.text: p for t, p in result.probabilities.items()}
+        assert probs["a"] == pytest.approx(0.5)
+
+    def test_no_iteration(self, tiny_scenario):
+        result = vote().fuse(tiny_scenario.fusion_input())
+        assert result.rounds == 0
+        assert result.converged
+        assert not result.unpredicted

@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "classic_data_fusion.py",
+        "granularity_study.py",
+        "error_analysis_demo.py",
+        "future_directions.py",
+        "knowledge_vault_pipeline.py",
+    ],
+)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_prefers_true_date():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    lines = [l for l in completed.stdout.splitlines() if l.startswith("1962-07-03")]
+    assert lines, completed.stdout
+    # Every fuser's probability for the true date beats 0.5.
+    values = [float(x) for x in lines[0].split()[1:]]
+    assert all(v > 0.5 for v in values)
+
+
+def test_classic_fusion_breaks_the_tie():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / "classic_data_fusion.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "get them right." in completed.stdout

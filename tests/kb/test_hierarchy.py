@@ -1,0 +1,67 @@
+"""Unit tests for the value containment hierarchy."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.kb.hierarchy import ValueHierarchy
+
+
+@pytest.fixture
+def chain():
+    h = ValueHierarchy()
+    h.add_edge("sf", "ca")
+    h.add_edge("ca", "usa")
+    h.add_edge("usa", "north_america")
+    h.add_edge("nyc", "usa")
+    return h
+
+
+class TestEdges:
+    def test_self_edge_rejected(self):
+        with pytest.raises(SchemaError):
+            ValueHierarchy().add_edge("a", "a")
+
+    def test_second_parent_rejected(self, chain):
+        with pytest.raises(SchemaError):
+            chain.add_edge("sf", "usa")
+
+    def test_cycle_rejected(self, chain):
+        with pytest.raises(SchemaError):
+            chain.add_edge("north_america", "sf")
+
+    def test_parent_and_children(self, chain):
+        assert chain.parent("sf") == "ca"
+        assert chain.parent("north_america") is None
+        assert set(chain.children("usa")) == {"ca", "nyc"}
+
+
+class TestQueries:
+    def test_ancestors(self, chain):
+        assert chain.ancestors("sf") == ["ca", "usa", "north_america"]
+        assert chain.ancestors("north_america") == []
+
+    def test_chain(self, chain):
+        assert chain.chain("sf") == ["sf", "ca", "usa", "north_america"]
+
+    def test_is_ancestor(self, chain):
+        assert chain.is_ancestor("usa", "sf")
+        assert not chain.is_ancestor("sf", "usa")
+        assert not chain.is_ancestor("nyc", "sf")
+
+    def test_related_covers_both_directions_and_identity(self, chain):
+        assert chain.related("usa", "sf")
+        assert chain.related("sf", "usa")
+        assert chain.related("sf", "sf")
+        assert not chain.related("sf", "nyc")
+
+    def test_depth(self, chain):
+        assert chain.depth("north_america") == 0
+        assert chain.depth("sf") == 3
+
+    def test_roots(self, chain):
+        assert chain.roots() == ["north_america"]
+
+    def test_members_and_contains(self, chain):
+        assert "sf" in chain
+        assert "mars" not in chain
+        assert set(chain.members()) == {"sf", "ca", "usa", "north_america", "nyc"}

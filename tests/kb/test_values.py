@@ -1,0 +1,70 @@
+"""Unit tests for typed object values."""
+
+import pytest
+
+from repro.kb.values import (
+    DateValue,
+    EntityRef,
+    NumberValue,
+    StringValue,
+    parse_value,
+)
+
+
+class TestCanonicalForms:
+    def test_entity_canonical(self):
+        assert EntityRef("/m/07r1h").canonical() == "entity:/m/07r1h"
+
+    def test_string_canonical(self):
+        assert StringValue("film actor").canonical() == "string:film actor"
+
+    def test_integer_number_has_no_decimal_point(self):
+        assert NumberValue(1986.0).canonical() == "number:1986"
+
+    def test_fractional_number_keeps_decimals(self):
+        assert NumberValue(1.75).canonical() == "number:1.75"
+
+    def test_date_canonical(self):
+        assert DateValue("1962-07-03").canonical() == "date:1962-07-03"
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            EntityRef("/m/0001"),
+            StringValue("hello world"),
+            NumberValue(42.0),
+            NumberValue(2.5),
+            DateValue("2001-01-31"),
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert parse_value(value.canonical()) == value
+
+    def test_string_with_colon_survives_roundtrip(self):
+        value = StringValue("a:b:c")
+        assert parse_value(value.canonical()) == value
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            parse_value("blob:xyz")
+
+    def test_rejects_missing_separator(self):
+        with pytest.raises(ValueError):
+            parse_value("not-canonical")
+
+
+class TestValueSemantics:
+    def test_values_are_hashable_and_comparable(self):
+        assert len({EntityRef("/m/1"), EntityRef("/m/1"), EntityRef("/m/2")}) == 2
+
+    def test_same_kind_ordering(self):
+        assert StringValue("a") < StringValue("b")
+
+    def test_distinct_kinds_never_equal(self):
+        assert StringValue("1") != NumberValue(1.0)
+
+    def test_values_are_frozen(self):
+        with pytest.raises(AttributeError):
+            EntityRef("/m/1").entity_id = "/m/2"

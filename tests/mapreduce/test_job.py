@@ -1,0 +1,69 @@
+"""Unit tests for iterative jobs (convergence / forced termination)."""
+
+import pytest
+
+from repro.errors import FusionError
+from repro.mapreduce.job import IterativeJob, run_iterative
+
+
+def halving_job(max_rounds=10, tol=0.01):
+    return IterativeJob(
+        name="halve",
+        step=lambda state, _round: state / 2,
+        distance=lambda old, new: abs(old - new),
+        max_rounds=max_rounds,
+        tol=tol,
+    )
+
+
+class TestIteration:
+    def test_converges(self):
+        trace = run_iterative(halving_job(), 1.0)
+        assert trace.converged
+        assert trace.rounds < 10
+        assert trace.states[-1] < 0.02
+
+    def test_forced_termination(self):
+        trace = run_iterative(halving_job(max_rounds=3, tol=0.0), 1.0)
+        assert not trace.converged
+        assert trace.rounds == 3
+        assert trace.states[-1] == pytest.approx(1 / 8)
+
+    def test_distances_recorded_per_round(self):
+        trace = run_iterative(halving_job(max_rounds=4, tol=0.0), 1.0)
+        assert trace.distances == pytest.approx([0.5, 0.25, 0.125, 0.0625])
+
+    def test_keep_states_retains_history(self):
+        trace = run_iterative(halving_job(max_rounds=3, tol=0.0), 1.0, keep_states=True)
+        assert trace.states == pytest.approx([1.0, 0.5, 0.25, 0.125])
+
+    def test_without_keep_states_only_last(self):
+        trace = run_iterative(halving_job(max_rounds=3, tol=0.0), 1.0)
+        assert len(trace.states) == 1
+
+    def test_step_receives_round_index(self):
+        rounds_seen = []
+
+        job = IterativeJob(
+            name="spy",
+            step=lambda s, i: rounds_seen.append(i) or s,
+            distance=lambda a, b: 1.0,
+            max_rounds=3,
+            tol=0.0,
+        )
+        run_iterative(job, None)
+        assert rounds_seen == [0, 1, 2]
+
+
+class TestValidation:
+    def test_zero_rounds_rejected(self):
+        with pytest.raises(FusionError):
+            IterativeJob(
+                name="x", step=lambda s, i: s, distance=lambda a, b: 0, max_rounds=0
+            )
+
+    def test_negative_tol_rejected(self):
+        with pytest.raises(FusionError):
+            IterativeJob(
+                name="x", step=lambda s, i: s, distance=lambda a, b: 0, tol=-1
+            )

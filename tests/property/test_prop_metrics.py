@@ -1,0 +1,129 @@
+"""Property-based tests for the evaluation metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.calibration import calibration_curve, deviation, weighted_deviation
+from repro.eval.kappa import kappa
+from repro.eval.pr import auc_pr, pr_curve
+from repro.kb.triples import Triple
+from repro.kb.values import StringValue
+
+
+def t(index: int) -> Triple:
+    return Triple("/m/1", "t/t/p", StringValue(f"v{index}"))
+
+
+@st.composite
+def predictions(draw, min_size=1, require_true=False):
+    n = draw(st.integers(min_value=min_size, max_value=60))
+    probabilities = {}
+    gold = {}
+    any_true = False
+    for i in range(n):
+        probabilities[t(i)] = draw(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+        )
+        label = draw(st.booleans())
+        gold[t(i)] = label
+        any_true = any_true or label
+    if require_true and not any_true:
+        gold[t(0)] = True
+    return probabilities, gold
+
+
+class TestCalibrationProperties:
+    @given(predictions())
+    @settings(max_examples=150, deadline=None)
+    def test_deviations_bounded(self, prediction):
+        probabilities, gold = prediction
+        curve = calibration_curve(probabilities, gold)
+        assert 0.0 <= deviation(curve) <= 1.0
+        assert 0.0 <= weighted_deviation(curve) <= 1.0
+
+    @given(predictions())
+    @settings(max_examples=150, deadline=None)
+    def test_bucket_counts_add_up(self, prediction):
+        probabilities, gold = prediction
+        curve = calibration_curve(probabilities, gold)
+        assert sum(b.count for b in curve.buckets) == curve.n_labelled == len(gold)
+
+    @given(predictions())
+    @settings(max_examples=150, deadline=None)
+    def test_bucket_reals_are_probabilities(self, prediction):
+        probabilities, gold = prediction
+        curve = calibration_curve(probabilities, gold)
+        for bucket in curve.buckets:
+            assert 0.0 <= bucket.real <= 1.0
+            assert 0.0 <= bucket.predicted <= 1.0
+
+    @given(predictions())
+    @settings(max_examples=100, deadline=None)
+    def test_perfectly_labelled_prediction_has_zero_wdev(self, prediction):
+        """Predicting exactly 0/1 matching the gold labels is perfectly
+        calibrated."""
+        _probabilities, gold = prediction
+        oracle = {triple: 1.0 if label else 0.0 for triple, label in gold.items()}
+        curve = calibration_curve(oracle, gold)
+        assert weighted_deviation(curve) == pytest.approx(0.0)
+
+
+class TestPRProperties:
+    @given(predictions(require_true=True))
+    @settings(max_examples=150, deadline=None)
+    def test_auc_bounded(self, prediction):
+        probabilities, gold = prediction
+        area = auc_pr(pr_curve(probabilities, gold))
+        assert 0.0 <= area <= 1.0
+
+    @given(predictions(require_true=True))
+    @settings(max_examples=150, deadline=None)
+    def test_recall_monotone(self, prediction):
+        probabilities, gold = prediction
+        curve = pr_curve(probabilities, gold)
+        assert list(curve.recalls) == sorted(curve.recalls)
+        assert curve.recalls[-1] == pytest.approx(1.0)
+
+    @given(predictions(require_true=True))
+    @settings(max_examples=100, deadline=None)
+    def test_oracle_ranking_auc_is_one(self, prediction):
+        _probabilities, gold = prediction
+        oracle = {triple: 1.0 if label else 0.0 for triple, label in gold.items()}
+        assert auc_pr(pr_curve(oracle, gold)) == pytest.approx(1.0)
+
+    @given(predictions(require_true=True))
+    @settings(max_examples=100, deadline=None)
+    def test_precision_in_unit_interval(self, prediction):
+        probabilities, gold = prediction
+        curve = pr_curve(probabilities, gold)
+        for precision in curve.precisions:
+            assert 0.0 <= precision <= 1.0
+
+
+class TestKappaProperties:
+    @given(
+        st.sets(st.integers(min_value=0, max_value=60), min_size=0, max_size=40),
+        st.sets(st.integers(min_value=0, max_value=60), min_size=0, max_size=40),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_kappa_symmetric_and_bounded(self, t1, t2):
+        universe = set(range(61))
+        value = kappa(t1, t2, universe)
+        assert value == kappa(t2, t1, universe)
+        assert -1.0 <= value <= 1.0
+
+    @given(st.sets(st.integers(min_value=0, max_value=60), min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_self_kappa_positive(self, t1):
+        universe = set(range(61))
+        assert kappa(t1, t1, universe) > 0
+
+    @given(st.sets(st.integers(min_value=0, max_value=29), min_size=1, max_size=29))
+    @settings(max_examples=100, deadline=None)
+    def test_complement_kappa_negative(self, t1):
+        universe = set(range(30))
+        complement = universe - t1
+        if not complement:
+            return
+        assert kappa(t1, complement, universe) < 0

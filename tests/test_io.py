@@ -1,0 +1,96 @@
+"""Unit tests for JSONL serialisation."""
+
+import pytest
+
+from repro.io import (
+    iter_records,
+    load_kb,
+    load_probabilities,
+    load_records,
+    save_kb,
+    save_probabilities,
+    save_records,
+)
+from repro.kb.store import KnowledgeBase
+from repro.kb.triples import Triple
+from repro.kb.values import DateValue, EntityRef, NumberValue, StringValue
+
+
+class TestRecords:
+    def test_roundtrip_scenario_records(self, tiny_scenario, tmp_path):
+        path = tmp_path / "records.jsonl"
+        written = save_records(tiny_scenario.records, path)
+        assert written == len(tiny_scenario.records)
+        loaded = load_records(path)
+        assert loaded == tiny_scenario.records
+
+    def test_debug_channel_survives(self, tiny_scenario, tmp_path):
+        path = tmp_path / "records.jsonl"
+        save_records(tiny_scenario.records, path)
+        loaded = load_records(path)
+        for original, restored in zip(tiny_scenario.records, loaded):
+            assert restored.debug == original.debug
+        assert any(r.debug is not None and r.debug.error_kind for r in loaded)
+
+    def test_stripped_records_roundtrip(self, tiny_scenario, tmp_path):
+        path = tmp_path / "records.jsonl"
+        stripped = [r.without_debug() for r in tiny_scenario.records[:20]]
+        save_records(stripped, path)
+        assert load_records(path) == stripped
+
+    def test_iter_records_streams(self, tiny_scenario, tmp_path):
+        path = tmp_path / "records.jsonl"
+        save_records(tiny_scenario.records[:5], path)
+        iterator = iter_records(path)
+        first = next(iterator)
+        assert first == tiny_scenario.records[0]
+        assert len(list(iterator)) == 4
+
+
+class TestKnowledgeBase:
+    def test_roundtrip_all_value_kinds(self, tmp_path):
+        kb = KnowledgeBase()
+        kb.add(Triple("/m/1", "p/t/a", EntityRef("/m/2")))
+        kb.add(Triple("/m/1", "p/t/b", StringValue("hello world")))
+        kb.add(Triple("/m/1", "p/t/c", NumberValue(42.5)))
+        kb.add(Triple("/m/1", "p/t/d", DateValue("1999-12-31")))
+        path = tmp_path / "kb.txt"
+        assert save_kb(kb, path) == 4
+        loaded = load_kb(path)
+        assert set(loaded) == set(kb)
+
+    def test_roundtrip_freebase_snapshot(self, tiny_scenario, tmp_path):
+        path = tmp_path / "freebase.txt"
+        save_kb(tiny_scenario.freebase, path)
+        loaded = load_kb(path, name="freebase")
+        assert set(loaded) == set(tiny_scenario.freebase)
+        assert loaded.stats() == tiny_scenario.freebase.stats()
+
+    def test_output_is_sorted(self, tmp_path):
+        kb = KnowledgeBase()
+        kb.add(Triple("/m/2", "p", StringValue("b")))
+        kb.add(Triple("/m/1", "p", StringValue("a")))
+        path = tmp_path / "kb.txt"
+        save_kb(kb, path)
+        lines = path.read_text().splitlines()
+        assert lines == sorted(lines)
+
+
+class TestProbabilities:
+    def test_roundtrip(self, tmp_path):
+        probabilities = {
+            Triple("/m/1", "p", StringValue("a")): 0.25,
+            Triple("/m/1", "p", StringValue("b")): 0.75,
+        }
+        path = tmp_path / "probs.jsonl"
+        assert save_probabilities(probabilities, path) == 2
+        assert load_probabilities(path) == probabilities
+
+    def test_roundtrip_fusion_output(self, tiny_scenario, tmp_path):
+        from repro.fusion import vote
+
+        result = vote().fuse(tiny_scenario.fusion_input())
+        path = tmp_path / "probs.jsonl"
+        save_probabilities(result.probabilities, path)
+        loaded = load_probabilities(path)
+        assert loaded == pytest.approx(result.probabilities)

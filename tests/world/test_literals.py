@@ -1,0 +1,87 @@
+"""Unit tests for literal rendering and parsing (incl. the date hazard)."""
+
+import pytest
+
+from repro.kb.values import DateValue, NumberValue, StringValue
+from repro.world.literals import (
+    DATE_STYLE_EU,
+    DATE_STYLE_ISO,
+    DATE_STYLE_US,
+    parse_literal,
+    parse_literal_naive,
+    render_value,
+)
+
+
+class TestRender:
+    def test_iso_date(self):
+        assert render_value(DateValue("1962-07-03")) == "1962-07-03"
+
+    def test_us_date(self):
+        assert render_value(DateValue("1962-07-03"), DATE_STYLE_US) == "7/3/1962"
+
+    def test_eu_date(self):
+        assert render_value(DateValue("1962-07-03"), DATE_STYLE_EU) == "3.7.1962"
+
+    def test_plain_number(self):
+        assert render_value(NumberValue(1234567.0)) == "1234567"
+
+    def test_grouped_number(self):
+        assert render_value(NumberValue(1234567.0), grouped_numbers=True) == "1,234,567"
+
+    def test_fractional_number(self):
+        assert render_value(NumberValue(2.5)) == "2.5"
+
+    def test_string(self):
+        assert render_value(StringValue("hello")) == "hello"
+
+    def test_entity_rejected(self):
+        from repro.kb.values import EntityRef
+
+        with pytest.raises(TypeError):
+            render_value(EntityRef("/m/1"))
+
+
+class TestCorrectParser:
+    @pytest.mark.parametrize("style", [DATE_STYLE_ISO, DATE_STYLE_US, DATE_STYLE_EU])
+    def test_roundtrip_all_styles(self, style):
+        value = DateValue("1962-07-03")
+        assert parse_literal(render_value(value, style), "date") == value
+
+    def test_number_roundtrip_with_grouping(self):
+        value = NumberValue(1234567.0)
+        surface = render_value(value, grouped_numbers=True)
+        assert parse_literal(surface, "number") == value
+
+    def test_garbage_date_is_none(self):
+        assert parse_literal("not a date", "date") is None
+        assert parse_literal("1/2", "date") is None
+
+    def test_garbage_number_is_none(self):
+        assert parse_literal("twelve", "number") is None
+
+    def test_unknown_kind_is_none(self):
+        assert parse_literal("x", "entity") is None
+
+
+class TestNaiveParser:
+    def test_naive_swaps_eu_dates_when_plausible(self):
+        # 3.7.1962 is July 3rd; the naive parser reads March 7th.
+        value = parse_literal_naive("3.7.1962", "date")
+        assert value == DateValue("1962-03-07")
+
+    def test_naive_falls_back_when_month_invalid(self):
+        # 25.3.1999 cannot be month=25, so even naive gets it right.
+        value = parse_literal_naive("25.3.1999", "date")
+        assert value == DateValue("1999-03-25")
+
+    def test_naive_correct_on_iso(self):
+        assert parse_literal_naive("1962-07-03", "date") == DateValue("1962-07-03")
+
+    def test_naive_correct_on_us(self):
+        assert parse_literal_naive("7/3/1962", "date") == DateValue("1962-07-03")
+
+    def test_naive_matches_correct_for_numbers(self):
+        assert parse_literal_naive("1,234", "number") == parse_literal(
+            "1,234", "number"
+        )
