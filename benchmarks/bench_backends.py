@@ -1,0 +1,83 @@
+"""Backend comparison bench: serial-scalar vs parallel vs vectorized.
+
+Times one full POPACCU round (Stage I + Stage II + Stage III) on the
+shared session scenario under each execution backend, checks the results
+agree, asserts the headline speedup (vectorized ≥ 3x over scalar-serial
+on the ``bench_popaccu_round`` scenario), and persists a small report to
+``benchmarks/results/backends.txt``.
+
+Timings are taken with ``time.perf_counter`` (best of three) so the
+numbers — and the speedup assertion — are valid even when pytest-benchmark
+runs with ``--benchmark-disable`` (the repo default; pass
+``--benchmark-enable`` for the plugin's own statistics).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.fusion import FusionConfig, popaccu
+
+_ROUNDS = 3
+_MIN_SPEEDUP = 3.0
+
+
+def _best_of(fn, rounds: int = _ROUNDS) -> float:
+    timings = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def bench_backend_comparison(benchmark, scenario, results_dir):
+    fusion_input = scenario.fusion_input()
+
+    def run(backend: str):
+        config = FusionConfig(max_rounds=1, convergence_tol=0.0, backend=backend)
+        return popaccu(config).fuse(fusion_input)
+
+    # Warm the shared caches (claim matrix + columnar index) once, the way
+    # any multi-round fusion run would.
+    results = {backend: run(backend) for backend in ("serial", "parallel", "vectorized")}
+    assert results["vectorized"].diagnostics["backend_used"] == "vectorized"
+
+    # Parallel is bit-identical under fork (spawn-only platforms agree to
+    # the last ulp — see repro.mapreduce.executors); vectorized within
+    # numerical noise.
+    serial = results["serial"]
+    if "fork" in multiprocessing.get_all_start_methods():
+        assert results["parallel"].probabilities == serial.probabilities
+    else:
+        for triple, probability in serial.probabilities.items():
+            assert results["parallel"].probabilities[triple] == pytest.approx(
+                probability, abs=1e-12
+            )
+    for triple, probability in serial.probabilities.items():
+        assert results["vectorized"].probabilities[triple] == pytest.approx(
+            probability, abs=1e-9
+        )
+
+    timings = {backend: _best_of(lambda b=backend: run(b)) for backend in results}
+    benchmark.pedantic(lambda: run("vectorized"), rounds=1, iterations=1)
+
+    speedup = timings["serial"] / timings["vectorized"]
+    lines = [
+        "POPACCU single round, shared session scenario "
+        f"({len(serial.probabilities)} fused triples); best of {_ROUNDS}",
+        *(
+            f"{backend:>12}: {seconds * 1000:9.1f} ms"
+            for backend, seconds in sorted(timings.items(), key=lambda kv: kv[1])
+        ),
+        f"vectorized speedup over serial-scalar: {speedup:.1f}x",
+    ]
+    (results_dir / "backends.txt").write_text("\n".join(lines) + "\n")
+
+    assert speedup >= _MIN_SPEEDUP, (
+        f"vectorized backend only {speedup:.2f}x faster than scalar "
+        f"(required >= {_MIN_SPEEDUP}x)\n" + "\n".join(lines)
+    )

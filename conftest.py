@@ -1,0 +1,40 @@
+"""Root pytest configuration: keep the suite collectible without
+pytest-benchmark.
+
+``addopts`` (pyproject.toml) pins ``--benchmark-disable`` so explicitly
+collected benches run as fast one-shot smoke tests unless
+``--benchmark-enable`` is passed.  In an environment without the
+pytest-benchmark plugin that flag would be unrecognized and abort every
+run at argument parsing — the same die-before-collection failure mode
+the packaged test layout exists to prevent.  When the plugin is absent,
+register no-op stand-ins for its options and a minimal ``benchmark``
+fixture that just calls the target once.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import pytest
+
+if importlib.util.find_spec("pytest_benchmark") is None:
+
+    def pytest_addoption(parser):
+        group = parser.getgroup("benchmark")
+        group.addoption("--benchmark-disable", action="store_true", default=False)
+        group.addoption("--benchmark-enable", action="store_true", default=False)
+
+    class _OneShotBenchmark:
+        """Runs the benched callable once, without measurement."""
+
+        @staticmethod
+        def __call__(target, *args, **kwargs):
+            return target(*args, **kwargs)
+
+        @staticmethod
+        def pedantic(target, args=(), kwargs=None, **_options):
+            return target(*args, **(kwargs or {}))
+
+    @pytest.fixture
+    def benchmark():
+        return _OneShotBenchmark()

@@ -5,16 +5,21 @@ Usage::
     repro-kf list
     repro-kf run fig9 [--scale small] [--seed 0]
     repro-kf run all --scale tiny
+    repro-kf fuse popaccu --backend vectorized [--scale small] [--seed 0]
     python -m repro.cli run table2
 
 The scenario is generated deterministically from the seed; the first
 experiment of a session pays the generation cost, later ones share it.
+``fuse`` runs a single fusion method end-to-end under a chosen execution
+backend (serial scalar, process-pool parallel, or vectorized columnar) and
+prints a one-screen summary — the quickest way to compare backends.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.datasets import (
     build_scenario,
@@ -23,12 +28,15 @@ from repro.datasets import (
     tiny_config,
 )
 from repro.experiments import experiment_ids, run_experiment
+from repro.fusion.base import BACKENDS
 
 _SCALES = {
     "tiny": tiny_config,
     "small": small_config,
     "medium": medium_config,
 }
+
+_FUSE_METHODS = ("vote", "accu", "popaccu", "popaccu+unsup", "popaccu+")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,7 +55,81 @@ def _build_parser() -> argparse.ArgumentParser:
         help="scenario preset (default: small)",
     )
     run_parser.add_argument("--seed", type=int, default=0, help="master seed")
+
+    fuse_parser = sub.add_parser(
+        "fuse", help="run one fusion method under a chosen execution backend"
+    )
+    fuse_parser.add_argument(
+        "method", choices=_FUSE_METHODS, help="fusion method preset"
+    )
+    fuse_parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="serial",
+        help="execution backend (default: serial)",
+    )
+    fuse_parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="small",
+        help="scenario preset (default: small)",
+    )
+    fuse_parser.add_argument("--seed", type=int, default=0, help="master seed")
+    fuse_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the parallel backend (default: CPU count)",
+    )
     return parser
+
+
+def _run_fuse(args) -> int:
+    from repro.errors import ConfigError
+    from repro.fusion import (
+        FusionConfig,
+        accu,
+        popaccu,
+        popaccu_plus,
+        popaccu_plus_unsup,
+        vote,
+    )
+
+    try:
+        config = FusionConfig(
+            seed=args.seed, backend=args.backend, n_workers=args.workers
+        )
+    except ConfigError as err:
+        print(f"repro-kf fuse: error: {err}", file=sys.stderr)
+        return 2
+    scenario = build_scenario(_SCALES[args.scale](seed=args.seed))
+    if args.method == "vote":
+        fuser = vote(config)
+    elif args.method == "accu":
+        fuser = accu(config)
+    elif args.method == "popaccu":
+        fuser = popaccu(config)
+    elif args.method == "popaccu+unsup":
+        fuser = popaccu_plus_unsup(config)
+    else:
+        fuser = popaccu_plus(scenario.gold, config)
+
+    start = time.perf_counter()
+    result = fuser.fuse(scenario.fusion_input())
+    elapsed = time.perf_counter() - start
+
+    print(f"method:        {result.method}")
+    print(f"backend:       {result.diagnostics.get('backend', args.backend)}")
+    print(f"backend used:  {result.diagnostics.get('backend_used', 'serial')}")
+    print(f"fusion time:   {elapsed:.3f}s")
+    print(f"rounds:        {result.rounds} (converged: {result.converged})")
+    print(f"triples:       {len(result.probabilities)}")
+    print(f"unpredicted:   {len(result.unpredicted)}")
+    print(f"coverage:      {result.coverage():.4f}")
+    if result.probabilities:
+        mean = sum(result.probabilities.values()) / len(result.probabilities)
+        print(f"mean p(true):  {mean:.4f}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,6 +138,8 @@ def main(argv: list[str] | None = None) -> int:
         for experiment_id in experiment_ids():
             print(experiment_id)
         return 0
+    if args.command == "fuse":
+        return _run_fuse(args)
     scenario = build_scenario(_SCALES[args.scale](seed=args.seed))
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     for experiment_id in ids:

@@ -11,14 +11,20 @@ The 3-D knowledge-fusion input is flattened to 2-D by treating a
 *provenance* (``(Extractor, URL)`` by default) as a data-fusion source;
 :class:`~repro.fusion.provenance.Granularity` selects the paper's
 alternative flattenings.
+
+Posterior math exists in two parity-tested forms: scalar per-item
+reference implementations (``*_item_posteriors``) and batched numpy
+kernels (:mod:`repro.fusion.kernels`) over the columnar claim index
+(:class:`~repro.fusion.observations.ColumnarClaims`); ``FusionConfig.backend``
+selects scalar-serial, process-pool-parallel, or vectorized execution.
 """
 
 from repro.fusion.provenance import Granularity, provenance_key
-from repro.fusion.observations import Claim, FusionInput
-from repro.fusion.base import Fuser, FusionConfig, FusionResult
-from repro.fusion.vote import Vote
-from repro.fusion.accu import Accu, accu_item_posteriors
-from repro.fusion.popaccu import PopAccu, popaccu_item_posteriors
+from repro.fusion.observations import Claim, ColumnarClaims, FusionInput
+from repro.fusion.base import BACKENDS, Fuser, FusionConfig, FusionResult
+from repro.fusion.vote import Vote, VoteKernel, vote_item_posteriors
+from repro.fusion.accu import Accu, AccuKernel, accu_item_posteriors
+from repro.fusion.popaccu import PopAccu, PopAccuKernel, popaccu_item_posteriors
 from repro.fusion.presets import (
     vote,
     accu,
@@ -31,13 +37,19 @@ __all__ = [
     "Granularity",
     "provenance_key",
     "Claim",
+    "ColumnarClaims",
     "FusionInput",
+    "BACKENDS",
     "Fuser",
     "FusionConfig",
     "FusionResult",
     "Vote",
     "Accu",
     "PopAccu",
+    "VoteKernel",
+    "AccuKernel",
+    "PopAccuKernel",
+    "vote_item_posteriors",
     "accu_item_posteriors",
     "popaccu_item_posteriors",
     "vote",

@@ -18,20 +18,19 @@ Iteration (accuracy re-estimation) lives in :mod:`repro.fusion.runner`.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
+from repro.fusion import kernels
 from repro.fusion.base import Fuser, FusionResult
-from repro.fusion.observations import FusionInput, ProvKey
+from repro.fusion.observations import ColumnarClaims, FusionInput, ProvKey
 from repro.fusion.runner import run_bayesian_fusion
 from repro.kb.triples import Triple
 
-__all__ = ["accu_item_posteriors", "Accu"]
-
-_ACC_FLOOR = 1e-3
-_ACC_CEIL = 1.0 - 1e-3
+__all__ = ["accu_item_posteriors", "AccuKernel", "Accu"]
 
 
 def _clamped(accuracy: float) -> float:
-    return min(max(accuracy, _ACC_FLOOR), _ACC_CEIL)
+    return min(max(accuracy, kernels.ACC_FLOOR), kernels.ACC_CEIL)
 
 
 def accu_item_posteriors(
@@ -64,6 +63,35 @@ def accu_item_posteriors(
     }
 
 
+@dataclass(frozen=True)
+class AccuKernel:
+    """The ACCU posterior as a pluggable, picklable kernel.
+
+    Calling it scores one item through the scalar reference
+    (:func:`accu_item_posteriors`); :meth:`batch_round` scores every item
+    of a round at once through the numpy kernel
+    (:func:`repro.fusion.kernels.accu_round`).  Being a frozen dataclass —
+    not a closure — it survives pickling into the parallel backend's
+    worker processes.
+    """
+
+    n_false: int = 100
+
+    def __call__(
+        self,
+        claims: dict[Triple, set[ProvKey]],
+        accuracies: dict[ProvKey, float],
+    ) -> dict[Triple, float]:
+        return accu_item_posteriors(claims, accuracies, self.n_false)
+
+    def batch_round(
+        self, cols: ColumnarClaims, accuracies, active, require_repeated: bool
+    ) -> kernels.RoundPosteriors:
+        return kernels.accu_round(
+            cols, accuracies, active, self.n_false, require_repeated
+        )
+
+
 class Accu(Fuser):
     """Iterative ACCU (default N=100, A=0.8, R=5, L=1M)."""
 
@@ -72,15 +100,10 @@ class Accu(Fuser):
         return "ACCU"
 
     def fuse(self, fusion_input: FusionInput) -> FusionResult:
-        config = self.config
-
-        def posterior(claims, accuracies):
-            return accu_item_posteriors(claims, accuracies, config.n_false_values)
-
         return run_bayesian_fusion(
             fusion_input=fusion_input,
-            config=config,
-            item_posterior_fn=posterior,
+            config=self.config,
+            item_posterior_fn=AccuKernel(self.config.n_false_values),
             method_name=self.name,
             gold_labels=self.gold_labels,
         )

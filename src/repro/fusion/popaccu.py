@@ -25,20 +25,19 @@ two agreeing → ≈0.94; two conflicting → ≈0.5 (the Figure 9 valleys).
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
+from repro.fusion import kernels
 from repro.fusion.base import Fuser, FusionResult
-from repro.fusion.observations import FusionInput, ProvKey
+from repro.fusion.observations import ColumnarClaims, FusionInput, ProvKey
 from repro.fusion.runner import run_bayesian_fusion
 from repro.kb.triples import Triple
 
-__all__ = ["popaccu_item_posteriors", "PopAccu"]
-
-_ACC_FLOOR = 1e-3
-_ACC_CEIL = 1.0 - 1e-3
+__all__ = ["popaccu_item_posteriors", "PopAccuKernel", "PopAccu"]
 
 
 def _clamped(accuracy: float) -> float:
-    return min(max(accuracy, _ACC_FLOOR), _ACC_CEIL)
+    return min(max(accuracy, kernels.ACC_FLOOR), kernels.ACC_CEIL)
 
 
 def popaccu_item_posteriors(
@@ -92,6 +91,28 @@ def popaccu_item_posteriors(
     }
 
 
+@dataclass(frozen=True)
+class PopAccuKernel:
+    """The POPACCU posterior as a pluggable, picklable kernel.
+
+    Scalar reference per item via :func:`popaccu_item_posteriors`; batched
+    per round via :func:`repro.fusion.kernels.popaccu_round`.  A frozen
+    dataclass so the parallel backend can pickle it into workers.
+    """
+
+    def __call__(
+        self,
+        claims: dict[Triple, set[ProvKey]],
+        accuracies: dict[ProvKey, float],
+    ) -> dict[Triple, float]:
+        return popaccu_item_posteriors(claims, accuracies)
+
+    def batch_round(
+        self, cols: ColumnarClaims, accuracies, active, require_repeated: bool
+    ) -> kernels.RoundPosteriors:
+        return kernels.popaccu_round(cols, accuracies, active, require_repeated)
+
+
 class PopAccu(Fuser):
     """Iterative POPACCU (default A=0.8, R=5, L=1M)."""
 
@@ -100,13 +121,10 @@ class PopAccu(Fuser):
         return "POPACCU"
 
     def fuse(self, fusion_input: FusionInput) -> FusionResult:
-        def posterior(claims, accuracies):
-            return popaccu_item_posteriors(claims, accuracies)
-
         return run_bayesian_fusion(
             fusion_input=fusion_input,
             config=self.config,
-            item_posterior_fn=posterior,
+            item_posterior_fn=PopAccuKernel(),
             method_name=self.name,
             gold_labels=self.gold_labels,
         )

@@ -8,6 +8,9 @@
   accuracy filter); still unsupervised;
 - :func:`popaccu_plus` — the semi-supervised flagship: all of the above
   plus gold-standard accuracy initialisation.
+
+Every preset accepts ``backend=`` (``serial``/``parallel``/``vectorized``)
+as a convenience override of ``FusionConfig.backend``.
 """
 
 from __future__ import annotations
@@ -25,19 +28,27 @@ from repro.kb.triples import Triple
 __all__ = ["vote", "accu", "popaccu", "popaccu_plus_unsup", "popaccu_plus"]
 
 
-def vote(config: FusionConfig | None = None) -> Vote:
+def _with_backend(config: FusionConfig, backend: str | None) -> FusionConfig:
+    if backend is None:
+        return config
+    return replace(config, backend=backend)
+
+
+def vote(config: FusionConfig | None = None, backend: str | None = None) -> Vote:
     """The VOTE baseline."""
-    return Vote(config or FusionConfig())
+    return Vote(_with_backend(config or FusionConfig(), backend))
 
 
-def accu(config: FusionConfig | None = None) -> Accu:
+def accu(config: FusionConfig | None = None, backend: str | None = None) -> Accu:
     """Basic ACCU with paper defaults."""
-    return Accu(config or FusionConfig())
+    return Accu(_with_backend(config or FusionConfig(), backend))
 
 
-def popaccu(config: FusionConfig | None = None) -> PopAccu:
+def popaccu(
+    config: FusionConfig | None = None, backend: str | None = None
+) -> PopAccu:
     """Basic POPACCU with paper defaults."""
-    return PopAccu(config or FusionConfig())
+    return PopAccu(_with_backend(config or FusionConfig(), backend))
 
 
 def _plus_config(base: FusionConfig | None, theta: float) -> FusionConfig:
@@ -67,16 +78,19 @@ class PopAccuPlus(PopAccu):
 
 
 def popaccu_plus_unsup(
-    config: FusionConfig | None = None, theta: float = 0.5
+    config: FusionConfig | None = None,
+    theta: float = 0.5,
+    backend: str | None = None,
 ) -> PopAccu:
     """POPACCU+ without the gold standard (changes I-III of §4.3.4)."""
-    return PopAccuPlusUnsup(_plus_config(config, theta))
+    return PopAccuPlusUnsup(_with_backend(_plus_config(config, theta), backend))
 
 
 def popaccu_plus(
     gold_labels: dict[Triple, bool] | None = None,
     config: FusionConfig | None = None,
     theta: float = 0.5,
+    backend: str | None = None,
 ) -> PopAccu:
     """POPACCU+ (changes I-IV of §4.3.4).
 
@@ -86,4 +100,6 @@ def popaccu_plus(
     """
     if gold_labels is not None and not isinstance(gold_labels, dict):
         raise ConfigError("gold_labels must be a dict[Triple, bool]")
-    return PopAccuPlus(_plus_config(config, theta), gold_labels=gold_labels)
+    return PopAccuPlus(
+        _with_backend(_plus_config(config, theta), backend), gold_labels=gold_labels
+    )

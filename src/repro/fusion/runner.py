@@ -20,19 +20,48 @@ The §4.3 refinements plug in here:
 - **gold initialisation** (refinement IV): provenance accuracies start at
   the fraction of their LCWA-labelled triples that are true (for a
   deterministic ``gold_sample_rate`` subsample), instead of the default.
+
+Execution backends (``FusionConfig.backend``):
+
+- ``serial`` — the reference path: scalar per-item posteriors through the
+  in-process MapReduce engine;
+- ``parallel`` — the same scalar reducers (which are picklable
+  module-level callables exactly for this), sharded over a process pool by
+  :class:`~repro.mapreduce.executors.ParallelExecutor`; bit-identical to
+  ``serial``;
+- ``vectorized`` — both stages batched as numpy array operations over the
+  cached columnar claim index (:mod:`repro.fusion.kernels`), skipping the
+  per-item Python loop entirely.  Requires ``item_posterior_fn`` to carry
+  a ``batch_round`` method (the built-in kernels do) and reverts to
+  ``serial`` when reducer-input sampling would engage, because the sampled
+  subsets are defined in terms of the scalar dataflow.
+
+``result.diagnostics["backend"]`` records what was requested and
+``["backend_used"]`` what actually ran.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
+from repro.fusion import kernels
 from repro.fusion.base import FusionConfig, FusionResult
-from repro.fusion.observations import FusionInput, ProvKey
+from repro.fusion.observations import ColumnarClaims, FusionInput, ProvKey
 from repro.kb.triples import Triple
 from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
+from repro.mapreduce.executors import Executor, ParallelExecutor, SerialExecutor
 from repro.rng import split_seed
 
-__all__ = ["run_bayesian_fusion"]
+__all__ = [
+    "run_bayesian_fusion",
+    "make_executor",
+    "sampling_would_engage",
+    "stage1_mapper",
+    "Stage1Reducer",
+]
 
 ItemPosteriorFn = Callable[
     [dict[Triple, set[ProvKey]], dict[ProvKey, float]], dict[Triple, float]
@@ -53,6 +82,44 @@ def _gold_subsample(
     return sampled
 
 
+def stage1_mapper(claim):
+    """Fan one ``(item, triple, prov)`` claim out under its item key.
+
+    Shared by the Bayesian runner and VOTE — the Stage-I dataflow keys
+    claims identically everywhere.
+    """
+    item, triple, prov = claim
+    return [(item.canonical(), (triple, prov))]
+
+
+@dataclass(frozen=True, eq=False)
+class Stage1Reducer:
+    """Per-item posterior reducer; module-level dataclass so the parallel
+    backend can pickle it into worker processes."""
+
+    posterior_fn: ItemPosteriorFn
+    accuracies: dict[ProvKey, float]
+    require_repeated: bool
+
+    def __call__(self, _item_key, values):
+        claims: dict[Triple, set[ProvKey]] = {}
+        for triple, prov in values:
+            claims.setdefault(triple, set()).add(prov)
+        if self.require_repeated and not any(len(p) >= 2 for p in claims.values()):
+            return []
+        return list(self.posterior_fn(claims, self.accuracies).items())
+
+
+def _stage2_reducer(prov, values):
+    """Mean posterior of a provenance's (deduplicated) scored triples."""
+    seen: dict[Triple, float] = {}
+    for triple, probability in values:
+        seen[triple] = probability
+    if not seen:
+        return []
+    return [(prov, sum(seen.values()) / len(seen))]
+
+
 def _stage1(
     engine: MapReduceEngine,
     matrix,
@@ -63,20 +130,6 @@ def _stage1(
     require_repeated: bool,
 ) -> dict[Triple, float]:
     """Map claims by data item; reduce to per-triple posteriors."""
-
-    def mapper(claim):
-        item, triple, prov = claim
-        return [(item.canonical(), (triple, prov))]
-
-    def reducer(_item_key, values):
-        claims: dict[Triple, set[ProvKey]] = {}
-        for triple, prov in values:
-            claims.setdefault(triple, set()).add(prov)
-        if require_repeated and not any(len(p) >= 2 for p in claims.values()):
-            return []
-        posteriors = item_posterior_fn(claims, accuracies)
-        return list(posteriors.items())
-
     claim_stream = [
         (item, triple, prov)
         for item, triple_map in matrix.items.items()
@@ -86,8 +139,8 @@ def _stage1(
     ]
     job = MapReduceJob(
         name="fusion.stage1",
-        mapper=mapper,
-        reducer=reducer,
+        mapper=stage1_mapper,
+        reducer=Stage1Reducer(item_posterior_fn, accuracies, require_repeated),
         sample_limit=config.sample_limit,
         seed=config.seed,
     )
@@ -103,17 +156,9 @@ def _stage2(
 ) -> dict[ProvKey, float]:
     """Map scored triples by provenance; reduce to accuracy estimates."""
 
-    def mapper(pair):
+    def mapper(pair):  # runs in-process; only the reducer ships to workers
         prov, triple = pair
         return [(prov, (triple, posteriors[triple]))]
-
-    def reducer(prov, values):
-        seen: dict[Triple, float] = {}
-        for triple, probability in values:
-            seen[triple] = probability
-        if not seen:
-            return []
-        return [(prov, sum(seen.values()) / len(seen))]
 
     pairs = [
         (prov, triple)
@@ -125,11 +170,36 @@ def _stage2(
     job = MapReduceJob(
         name="fusion.stage2",
         mapper=mapper,
-        reducer=reducer,
+        reducer=_stage2_reducer,
         sample_limit=config.sample_limit,
         seed=config.seed,
     )
     return dict(engine.run(pairs, job))
+
+
+def make_executor(config: FusionConfig, backend: str) -> Executor:
+    if backend == "parallel":
+        return ParallelExecutor(max_workers=config.n_workers)
+    return SerialExecutor()
+
+
+def sampling_would_engage(
+    cols: ColumnarClaims, config: FusionConfig, include_stage2: bool = True
+) -> bool:
+    """True when some reducer group could exceed the sampling bound L.
+
+    ``include_stage2=False`` restricts the check to the item-keyed Stage-I
+    groups, for dataflows (VOTE) whose only sampled job groups by item.
+    """
+    if config.sample_limit is None:
+        return False
+    if cols.n_rows == 0:
+        return False
+    if cols.item_claim_counts().max(initial=0) > config.sample_limit:
+        return True
+    return include_stage2 and bool(
+        cols.prov_row_counts().max(initial=0) > config.sample_limit
+    )
 
 
 def run_bayesian_fusion(
@@ -139,15 +209,69 @@ def run_bayesian_fusion(
     method_name: str,
     gold_labels: dict[Triple, bool] | None = None,
     track_rounds: bool = False,
+    backend: str | None = None,
 ) -> FusionResult:
     """Run the full iterative pipeline and return a :class:`FusionResult`.
 
     ``track_rounds=True`` stores the per-round probability snapshots in
     ``result.diagnostics["round_probabilities"]`` (used by the Figure 14
-    experiment).
+    experiment).  ``backend`` overrides ``config.backend`` for this run.
     """
+    requested = backend if backend is not None else config.backend
     matrix = fusion_input.claims(config.granularity)
-    engine = MapReduceEngine()
+
+    if requested == "vectorized":
+        cols = matrix.columnar()
+        if hasattr(item_posterior_fn, "batch_round") and not sampling_would_engage(
+            cols, config
+        ):
+            return _run_vectorized(
+                matrix,
+                cols,
+                config,
+                item_posterior_fn,
+                method_name,
+                gold_labels,
+                track_rounds,
+                requested,
+            )
+        # No batched form (e.g. a closure posterior) or sampling must
+        # engage: the scalar reference path is the defined behaviour.
+        return _run_mapreduce(
+            matrix,
+            config,
+            item_posterior_fn,
+            method_name,
+            gold_labels,
+            track_rounds,
+            requested,
+            backend_used="serial (vectorized fallback)",
+        )
+    return _run_mapreduce(
+        matrix,
+        config,
+        item_posterior_fn,
+        method_name,
+        gold_labels,
+        track_rounds,
+        requested,
+        backend_used=requested,
+    )
+
+
+def _run_mapreduce(
+    matrix,
+    config: FusionConfig,
+    item_posterior_fn: ItemPosteriorFn,
+    method_name: str,
+    gold_labels: dict[Triple, bool] | None,
+    track_rounds: bool,
+    requested: str,
+    backend_used: str,
+) -> FusionResult:
+    """The scalar engine path (serial or process-pool parallel)."""
+    executor = make_executor(config, backend_used)
+    engine = MapReduceEngine(executor)
     default = config.default_accuracy
 
     all_provs = set(matrix.prov_triples)
@@ -176,30 +300,33 @@ def run_bayesian_fusion(
     round_probabilities: list[dict[Triple, float]] = []
     rounds_run = 0
     converged = False
-    for round_index in range(config.max_rounds):
-        active = active_set(round_index)
-        require_repeated = config.filter_by_coverage and round_index == 0
-        posteriors = _stage1(
-            engine,
-            matrix,
-            active,
-            accuracies,
-            item_posterior_fn,
-            config,
-            require_repeated,
-        )
-        new_accuracies = _stage2(engine, matrix, active, posteriors, config)
-        delta = 0.0
-        for prov, accuracy in new_accuracies.items():
-            delta = max(delta, abs(accuracy - accuracies[prov]))
-            accuracies[prov] = accuracy
-            evaluated.add(prov)
-        rounds_run = round_index + 1
-        if track_rounds:
-            round_probabilities.append(dict(posteriors))
-        if delta < config.convergence_tol:
-            converged = True
-            break
+    try:
+        for round_index in range(config.max_rounds):
+            active = active_set(round_index)
+            require_repeated = config.filter_by_coverage and round_index == 0
+            posteriors = _stage1(
+                engine,
+                matrix,
+                active,
+                accuracies,
+                item_posterior_fn,
+                config,
+                require_repeated,
+            )
+            new_accuracies = _stage2(engine, matrix, active, posteriors, config)
+            delta = 0.0
+            for prov, accuracy in new_accuracies.items():
+                delta = max(delta, abs(accuracy - accuracies[prov]))
+                accuracies[prov] = accuracy
+                evaluated.add(prov)
+            rounds_run = round_index + 1
+            if track_rounds:
+                round_probabilities.append(dict(posteriors))
+            if delta < config.convergence_tol:
+                converged = True
+                break
+    finally:
+        engine.executor.close()
 
     # Stage III: dedup by triple, applying the fallbacks for filtered items.
     probabilities: dict[Triple, float] = {}
@@ -228,6 +355,127 @@ def run_bayesian_fusion(
             "n_claims": matrix.n_claims(),
             "gold_initialized": gold_initialized,
             "n_active_final": len(active_set(rounds_run)),
+            "backend": requested,
+            "backend_used": backend_used,
+        },
+    )
+    if track_rounds:
+        result.diagnostics["round_probabilities"] = round_probabilities
+    result.validate()
+    return result
+
+
+def _run_vectorized(
+    matrix,
+    cols: ColumnarClaims,
+    config: FusionConfig,
+    kernel,
+    method_name: str,
+    gold_labels: dict[Triple, bool] | None,
+    track_rounds: bool,
+    requested: str,
+) -> FusionResult:
+    """The batched numpy path: whole rounds as array operations.
+
+    Accuracy state lives in a float64 array indexed by provenance id;
+    posteriors in a float64 array indexed by row (= unique triple).  The
+    Python dict outputs are materialised once at the end (Stage III), so
+    the per-round cost is a fixed number of numpy kernels regardless of
+    item count.
+    """
+    n_provs = len(cols.provenances)
+    accuracies = np.full(n_provs, config.default_accuracy, dtype=np.float64)
+    evaluated = np.zeros(n_provs, dtype=bool)
+
+    gold_initialized = 0
+    if gold_labels:
+        sampled = _gold_subsample(gold_labels, config.gold_sample_rate, config.seed)
+        for p in range(n_provs):
+            rows = cols.prov_rows[cols.prov_ptr[p] : cols.prov_ptr[p + 1]]
+            labels = [
+                sampled[cols.triples[r]] for r in rows if cols.triples[r] in sampled
+            ]
+            if labels:
+                accuracies[p] = sum(labels) / len(labels)
+                evaluated[p] = True
+                gold_initialized += 1
+
+    def active_mask(round_index: int) -> np.ndarray:
+        active = np.ones(n_provs, dtype=bool)
+        if config.filter_by_coverage and round_index > 0:
+            active &= evaluated
+        if config.min_accuracy is not None:
+            active &= accuracies >= config.min_accuracy
+        return active
+
+    round_result = kernels.RoundPosteriors(
+        posteriors=np.zeros(cols.n_rows, dtype=np.float64),
+        scored=np.zeros(cols.n_rows, dtype=bool),
+    )
+    round_probabilities: list[dict[Triple, float]] = []
+    rounds_run = 0
+    converged = False
+    for round_index in range(config.max_rounds):
+        active = active_mask(round_index)
+        require_repeated = config.filter_by_coverage and round_index == 0
+        round_result = kernel.batch_round(cols, accuracies, active, require_repeated)
+        new_acc, updated = kernels.stage2_accuracies(cols, round_result, active)
+        delta = (
+            float(np.max(np.abs(new_acc - accuracies)[updated]))
+            if updated.any()
+            else 0.0
+        )
+        accuracies = np.where(updated, new_acc, accuracies)
+        evaluated |= updated
+        rounds_run = round_index + 1
+        if track_rounds:
+            round_probabilities.append(
+                {
+                    cols.triples[r]: float(round_result.posteriors[r])
+                    for r in np.flatnonzero(round_result.scored)
+                }
+            )
+        if delta < config.convergence_tol:
+            converged = True
+            break
+
+    # Stage III: rows are already unique triples; unscored rows take the
+    # θ-fallback (mean accuracy of their own provenances) or go unpredicted.
+    probabilities: dict[Triple, float] = {}
+    unpredicted: set[Triple] = set()
+    fallback = (
+        kernels.theta_fallback_probabilities(cols, accuracies)
+        if config.min_accuracy is not None
+        else None
+    )
+    scored = round_result.scored
+    post = round_result.posteriors
+    for r, triple in enumerate(cols.triples):
+        if scored[r]:
+            probabilities[triple] = float(post[r])
+        elif fallback is not None:
+            probabilities[triple] = float(fallback[r])
+        else:
+            unpredicted.add(triple)
+
+    accuracies_out = {
+        prov: float(accuracies[p]) for p, prov in enumerate(cols.provenances)
+    }
+    result = FusionResult(
+        method=method_name,
+        probabilities=probabilities,
+        unpredicted=unpredicted,
+        accuracies=accuracies_out,
+        rounds=rounds_run,
+        converged=converged,
+        diagnostics={
+            "n_items": cols.n_items,
+            "n_provenances": n_provs,
+            "n_claims": cols.n_claims,
+            "gold_initialized": gold_initialized,
+            "n_active_final": int(active_mask(rounds_run).sum()),
+            "backend": requested,
+            "backend_used": "vectorized",
         },
     )
     if track_rounds:

@@ -6,15 +6,68 @@ No source-quality estimation, no iteration — only Stage I and Stage III of
 the Figure 8 pipeline, which is exactly how it is implemented here (through
 the MapReduce engine, so VOTE exercises the same dataflow as the Bayesian
 methods).
+
+Backends: ``serial`` runs the scalar reducers in-process; ``parallel``
+shards them across a process pool (the reducers are module-level functions
+precisely so they pickle); ``vectorized`` computes all ``m/n`` ratios in
+one numpy pass over the columnar claim index, falling back to ``serial``
+when reducer-input sampling would engage.
 """
 
 from __future__ import annotations
 
+from repro.fusion import kernels
 from repro.fusion.base import Fuser, FusionResult
-from repro.fusion.observations import FusionInput
+from repro.fusion.observations import ColumnarClaims, FusionInput, ProvKey
+from repro.fusion.runner import (
+    Stage1Reducer,
+    make_executor,
+    sampling_would_engage,
+    stage1_mapper,
+)
+from repro.kb.triples import Triple
 from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
 
-__all__ = ["Vote"]
+__all__ = ["vote_item_posteriors", "VoteKernel", "Vote"]
+
+
+def vote_item_posteriors(
+    claims: dict[Triple, set[ProvKey]],
+    accuracies: dict[ProvKey, float] | None = None,
+) -> dict[Triple, float]:
+    """Scalar reference: ``p(T) = m/n`` for one data item.
+
+    ``accuracies`` is accepted (and ignored) so VOTE matches the posterior
+    signature of the Bayesian kernels.
+    """
+    total = sum(len(provs) for provs in claims.values())
+    if total == 0:
+        return {}
+    return {triple: len(provs) / total for triple, provs in claims.items()}
+
+
+class VoteKernel:
+    """The VOTE posterior as a pluggable kernel (scalar + batched)."""
+
+    def __call__(
+        self,
+        claims: dict[Triple, set[ProvKey]],
+        accuracies: dict[ProvKey, float] | None = None,
+    ) -> dict[Triple, float]:
+        return vote_item_posteriors(claims, accuracies)
+
+    def batch_round(
+        self, cols: ColumnarClaims, accuracies=None, active=None, require_repeated=False
+    ) -> kernels.RoundPosteriors:
+        return kernels.vote_round(cols, active, require_repeated)
+
+
+def _vote_stage3_mapper(pair):
+    return [(pair[0].canonical(), pair)]
+
+
+def _vote_stage3_reducer(_key, values):
+    return [values[0]]
 
 
 class Vote(Fuser):
@@ -26,19 +79,32 @@ class Vote(Fuser):
 
     def fuse(self, fusion_input: FusionInput) -> FusionResult:
         matrix = fusion_input.claims(self.config.granularity)
-        engine = MapReduceEngine()
+        backend_used = self.config.backend
+        if self.config.backend == "vectorized":
+            cols = matrix.columnar()
+            if not sampling_would_engage(cols, self.config, include_stage2=False):
+                return self._fuse_vectorized(cols)
+            backend_used = "serial (vectorized fallback)"
+        return self._fuse_mapreduce(matrix, backend_used)
 
-        # Stage I: map claims by data item, compute m/n per triple.
-        def stage1_mapper(claim):
-            item, triple, prov = claim
-            return [(item.canonical(), (triple, prov))]
+    def _fuse_vectorized(self, cols: ColumnarClaims) -> FusionResult:
+        round_result = kernels.vote_round(cols)
+        result = FusionResult(
+            method=self.name,
+            probabilities={
+                triple: float(round_result.posteriors[r])
+                for r, triple in enumerate(cols.triples)
+            },
+            rounds=0,
+            converged=True,
+            diagnostics={"backend": "vectorized", "backend_used": "vectorized"},
+        )
+        result.validate()
+        return result
 
-        def stage1_reducer(item_key, values):
-            total = len(values)
-            counts: dict = {}
-            for triple, _prov in values:
-                counts[triple] = counts.get(triple, 0) + 1
-            return [(triple, count / total) for triple, count in counts.items()]
+    def _fuse_mapreduce(self, matrix, backend_used: str) -> FusionResult:
+        executor = make_executor(self.config, backend_used)
+        engine = MapReduceEngine(executor)
 
         claims = [
             (item, triple, prov)
@@ -49,24 +115,28 @@ class Vote(Fuser):
         stage1 = MapReduceJob(
             name="vote.stage1",
             mapper=stage1_mapper,
-            reducer=stage1_reducer,
+            reducer=Stage1Reducer(VoteKernel(), {}, require_repeated=False),
             sample_limit=self.config.sample_limit,
             seed=self.config.seed,
         )
-        scored = engine.run(claims, stage1)
+        try:
+            scored = engine.run(claims, stage1)
 
-        # Stage III: dedup by triple (probabilities agree per item already).
-        stage3 = MapReduceJob(
-            name="vote.stage3",
-            mapper=lambda pair: [(pair[0].canonical(), pair)],
-            reducer=lambda _key, values: [values[0]],
-        )
-        deduped = engine.run(scored, stage3)
+            # Stage III: dedup by triple (probabilities agree per item already).
+            stage3 = MapReduceJob(
+                name="vote.stage3",
+                mapper=_vote_stage3_mapper,
+                reducer=_vote_stage3_reducer,
+            )
+            deduped = engine.run(scored, stage3)
+        finally:
+            executor.close()
         result = FusionResult(
             method=self.name,
             probabilities={triple: float(p) for triple, p in deduped},
             rounds=0,
             converged=True,
+            diagnostics={"backend": self.config.backend, "backend_used": backend_used},
         )
         result.validate()
         return result

@@ -5,9 +5,23 @@ This package provides the same dataflow semantics — map, shuffle (grouped,
 deterministically ordered), reduce, with per-reducer input *sampling*
 (the paper's ``L``) and multi-stage iteration with forced termination
 (the paper's ``R``) — as an in-process engine suitable for laptop scale.
+Execution is pluggable: the reduce phase runs through an
+:class:`~repro.mapreduce.executors.Executor` — serial in-process by
+default, or sharded across a process pool by
+:class:`~repro.mapreduce.executors.ParallelExecutor` with bit-identical
+output.
 """
 
 from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
+from repro.mapreduce.executors import Executor, ParallelExecutor, SerialExecutor
 from repro.mapreduce.job import IterativeJob, run_iterative
 
-__all__ = ["MapReduceEngine", "MapReduceJob", "IterativeJob", "run_iterative"]
+__all__ = [
+    "MapReduceEngine",
+    "MapReduceJob",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "IterativeJob",
+    "run_iterative",
+]

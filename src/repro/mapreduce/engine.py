@@ -12,6 +12,13 @@ implementation relies on:
   §4.1: "we sample L triples each time instead of using all triples"), a
   deterministic per-key sample is taken before reducing — the skew-taming
   trick the paper uses against 2.7M-claim data items.
+
+*Where* the reduce runs is delegated to an executor
+(:mod:`repro.mapreduce.executors`): the default
+:class:`~repro.mapreduce.executors.SerialExecutor` reduces in-process;
+:class:`~repro.mapreduce.executors.ParallelExecutor` shards the shuffle by
+stable key hash across a process pool while preserving sorted-key output
+order and per-key sampling, so both backends produce identical results.
 """
 
 from __future__ import annotations
@@ -19,10 +26,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
-import numpy as np
-
 from repro.errors import FusionError
-from repro.rng import split_seed
+from repro.mapreduce.executors import (
+    Executor,
+    SerialExecutor,
+    map_and_shuffle,
+    reduce_serial,
+    sample_values,
+)
 
 __all__ = ["MapReduceJob", "MapReduceEngine"]
 
@@ -54,38 +65,26 @@ class MapReduceJob:
 
 
 class MapReduceEngine:
-    """In-process engine running one job at a time."""
+    """In-process engine running one job at a time through an executor."""
+
+    def __init__(self, executor: Executor | None = None) -> None:
+        self.executor: Executor = executor if executor is not None else SerialExecutor()
 
     def run(self, records: Iterable[Any], job: MapReduceJob) -> list[Any]:
         """Execute ``job`` over ``records`` and return all reducer outputs."""
-        groups = self.map_and_shuffle(records, job.mapper)
-        return self.reduce(groups, job)
+        return self.executor.run(records, job)
 
     def map_and_shuffle(
         self, records: Iterable[Any], mapper: Mapper
     ) -> dict[Any, list]:
         """The map phase plus grouping; exposed for tests and diagnostics."""
-        groups: dict[Any, list] = {}
-        for record in records:
-            for key, value in mapper(record):
-                groups.setdefault(key, []).append(value)
-        return groups
+        return map_and_shuffle(records, mapper)
 
     def reduce(self, groups: dict[Any, list], job: MapReduceJob) -> list[Any]:
         """The reduce phase over pre-grouped data, keys in sorted order."""
-        outputs: list[Any] = []
-        for key in sorted(groups):
-            values = groups[key]
-            values = self.sample_values(values, key, job)
-            outputs.extend(job.reducer(key, values))
-        return outputs
+        return reduce_serial(groups, job)
 
     @staticmethod
     def sample_values(values: list, key: Any, job: MapReduceJob) -> list:
         """Deterministic per-key sample of reducer input (the paper's L)."""
-        limit = job.sample_limit
-        if limit is None or len(values) <= limit:
-            return values
-        rng = np.random.default_rng(split_seed(job.seed, job.name, repr(key)))
-        picked = rng.choice(len(values), size=limit, replace=False)
-        return [values[i] for i in sorted(int(x) for x in picked)]
+        return sample_values(values, key, job.name, job.sample_limit, job.seed)

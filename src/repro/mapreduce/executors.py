@@ -1,0 +1,230 @@
+"""Pluggable execution backends for the MapReduce engine.
+
+The engine's dataflow contract (map → deterministic grouped shuffle →
+sorted-key reduce with per-key sampling) is fixed; *where* the reduce work
+runs is an :class:`Executor` policy:
+
+- :class:`SerialExecutor` — everything in-process, keys reduced in sorted
+  order.  The default, and the reference behaviour.
+- :class:`ParallelExecutor` — map and shuffle stay in-process; the grouped
+  keys are sharded by a *stable* hash (crc32 of ``repr(key)``, immune to
+  ``PYTHONHASHSEED``) and each shard's reduce runs in a
+  ``concurrent.futures.ProcessPoolExecutor`` worker.  Workers return
+  ``(key, outputs)`` pairs and the parent re-emits them in globally sorted
+  key order, so the output sequence — and the deterministic per-key
+  sampling, which depends only on ``(seed, job name, key)`` — is
+  bit-identical to the serial backend.
+
+Bit-identity additionally requires workers to share the parent's hash
+randomization: reducers that iterate sets (the fusion stages do) sum
+floats in set order, which depends on ``PYTHONHASHSEED``.  The pool
+therefore uses the ``fork`` start method where available (workers inherit
+the parent's hash seed); on spawn-only platforms each worker draws a fresh
+hash seed and parallel results may differ from serial in the last ulp.
+
+Reducers shipped to workers must be picklable (module-level functions or
+dataclasses; the fusion stages satisfy this).  When a reducer cannot be
+pickled — e.g. the closure-based reducers third-party extensions may pass —
+the parallel executor transparently falls back to in-process reduction and
+counts the event in ``fallbacks``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.rng import split_seed
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "shard_for_key",
+    "reduce_serial",
+]
+
+
+def map_and_shuffle(records: Iterable[Any], mapper: Callable) -> dict[Any, list]:
+    """The map phase plus grouping (insertion-ordered value lists)."""
+    groups: dict[Any, list] = {}
+    for record in records:
+        for key, value in mapper(record):
+            groups.setdefault(key, []).append(value)
+    return groups
+
+
+def sample_values(
+    values: list, key: Any, name: str, sample_limit: int | None, seed: int
+) -> list:
+    """Deterministic per-key sample of reducer input (the paper's L).
+
+    The sample depends only on ``(seed, name, key)`` and the value order,
+    so serial and parallel backends pick identical subsets.
+    """
+    if sample_limit is None or len(values) <= sample_limit:
+        return values
+    rng = np.random.default_rng(split_seed(seed, name, repr(key)))
+    picked = rng.choice(len(values), size=sample_limit, replace=False)
+    return [values[i] for i in sorted(int(x) for x in picked)]
+
+
+def shard_for_key(key: Any, n_shards: int) -> int:
+    """Stable shard assignment: crc32 of ``repr(key)``, not ``hash()``."""
+    return zlib.crc32(repr(key).encode("utf-8")) % n_shards
+
+
+@dataclass(frozen=True)
+class _ReduceSpec:
+    """The picklable slice of a job a reduce worker needs."""
+
+    name: str
+    reducer: Callable
+    sample_limit: int | None
+    seed: int
+
+
+def _reduce_shard(
+    spec_bytes: bytes, items: list[tuple[Any, list]]
+) -> list[tuple[Any, list]]:
+    """Worker body: sample + reduce each key of one shard.
+
+    In-shard order is irrelevant — the parent re-emits outputs in global
+    sorted-key order, and sampling depends only on ``(seed, name, key)``.
+    The spec arrives pre-pickled so the parent serializes it exactly once
+    per job instead of once per shard.
+    """
+    spec: _ReduceSpec = pickle.loads(spec_bytes)
+    outputs: list[tuple[Any, list]] = []
+    for key, values in items:
+        sampled = sample_values(values, key, spec.name, spec.sample_limit, spec.seed)
+        outputs.append((key, list(spec.reducer(key, sampled))))
+    return outputs
+
+
+def reduce_serial(groups: dict[Any, list], job) -> list[Any]:
+    """The reference reduce: sorted keys, per-key sampling, in-process."""
+    outputs: list[Any] = []
+    for key in sorted(groups):
+        sampled = sample_values(
+            groups[key], key, job.name, job.sample_limit, job.seed
+        )
+        outputs.extend(job.reducer(key, sampled))
+    return outputs
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Execution policy: run one job over records, return reducer outputs.
+
+    ``close()`` releases any held resources (worker pools); it must be
+    safe to call repeatedly and on executors that never ran a job.
+    """
+
+    def run(self, records: Iterable[Any], job) -> list[Any]: ...
+
+    def close(self) -> None: ...
+
+
+class SerialExecutor:
+    """In-process map, shuffle, and sorted-key reduce (reference behaviour)."""
+
+    name = "serial"
+
+    def run(self, records: Iterable[Any], job) -> list[Any]:
+        return reduce_serial(map_and_shuffle(records, job.mapper), job)
+
+    def close(self) -> None:  # symmetry with ParallelExecutor
+        pass
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class ParallelExecutor:
+    """Process-pool reduce, sharded by stable key hash.
+
+    ``max_workers`` defaults to the CPU count (minimum 2, so the backend is
+    exercised even on single-core hosts); ``min_keys`` is the group-count
+    threshold below which dispatch overhead cannot pay off and the reduce
+    runs in-process.  The pool is created lazily and reused across jobs
+    (fusion runs many rounds through one executor); call :meth:`close` or
+    use the executor as a context manager to release it.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: int | None = None, min_keys: int = 2) -> None:
+        self.max_workers = max_workers or max(2, os.cpu_count() or 1)
+        self.min_keys = min_keys
+        self.fallbacks = 0  # jobs reduced in-process (unpicklable / tiny)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # fork (where available) lets workers inherit the parent's hash
+            # randomization, which the bit-identity contract needs for
+            # reducers that iterate sets; see the module docstring.
+            try:
+                mp_context = multiprocessing.get_context("fork")
+            except ValueError:
+                mp_context = None
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=mp_context
+            )
+        return self._pool
+
+    def run(self, records: Iterable[Any], job) -> list[Any]:
+        groups = map_and_shuffle(records, job.mapper)
+        sorted_keys = sorted(groups)
+        if len(sorted_keys) < self.min_keys:
+            self.fallbacks += 1
+            return reduce_serial(groups, job)
+        spec = _ReduceSpec(
+            name=job.name,
+            reducer=job.reducer,
+            sample_limit=job.sample_limit,
+            seed=job.seed,
+        )
+        try:
+            spec_bytes = pickle.dumps(spec)
+        except Exception:
+            self.fallbacks += 1
+            return reduce_serial(groups, job)
+
+        n_shards = min(self.max_workers * 4, len(sorted_keys))
+        shards: list[list[tuple[Any, list]]] = [[] for _ in range(n_shards)]
+        for key in sorted_keys:
+            shards[shard_for_key(key, n_shards)].append((key, groups[key]))
+
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_reduce_shard, spec_bytes, shard) for shard in shards if shard
+        ]
+        by_key: dict[Any, list] = {}
+        for future in futures:
+            for key, outputs in future.result():
+                by_key[key] = outputs
+        # Re-emit in global sorted-key order: bit-identical to serial.
+        return [output for key in sorted_keys for output in by_key[key]]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

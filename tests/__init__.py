@@ -1,0 +1,1 @@
+"""Test package: tests (package __init__ so duplicate basenames import distinctly)."""

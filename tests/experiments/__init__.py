@@ -1,0 +1,1 @@
+"""Test package: experiments (package __init__ so duplicate basenames import distinctly)."""

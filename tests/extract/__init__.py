@@ -1,0 +1,1 @@
+"""Test package: extract (package __init__ so duplicate basenames import distinctly)."""

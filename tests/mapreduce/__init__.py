@@ -1,0 +1,1 @@
+"""Test package: mapreduce (package __init__ so duplicate basenames import distinctly)."""

@@ -1,0 +1,120 @@
+"""Unit tests for the execution backends of the MapReduce engine."""
+
+import pytest
+
+from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
+from repro.mapreduce.executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    shard_for_key,
+)
+
+
+def _split_mapper(text):
+    return [(word, 1) for word in text.split()]
+
+
+def _count_reducer(word, ones):
+    return [(word, sum(ones))]
+
+
+def _tuple_reducer(key, values):
+    return [(key, tuple(values))]
+
+
+def word_count_job(sample_limit=None, seed=0):
+    return MapReduceJob(
+        name="wordcount",
+        mapper=_split_mapper,
+        reducer=_count_reducer,
+        sample_limit=sample_limit,
+        seed=seed,
+    )
+
+
+CORPUS = ["a b a", "b c", "d e f g a", "c c c"]
+
+
+@pytest.fixture(scope="module")
+def parallel():
+    with ParallelExecutor(max_workers=2) as executor:
+        yield executor
+
+
+class TestProtocol:
+    def test_executors_satisfy_protocol(self):
+        assert isinstance(SerialExecutor(), Executor)
+        assert isinstance(ParallelExecutor(), Executor)
+
+    def test_engine_defaults_to_serial(self):
+        assert isinstance(MapReduceEngine().executor, SerialExecutor)
+
+
+class TestParallelMatchesSerial:
+    def test_word_count_identical(self, parallel):
+        job = word_count_job()
+        serial_out = SerialExecutor().run(CORPUS, job)
+        parallel_out = parallel.run(CORPUS, job)
+        assert parallel_out == serial_out
+        assert parallel.fallbacks == 0
+
+    def test_output_key_order_is_sorted(self, parallel):
+        job = word_count_job()
+        keys = [key for key, _count in parallel.run(CORPUS, job)]
+        assert keys == sorted(keys)
+
+    def test_sampling_identical_across_backends(self, parallel):
+        data = [f"k{i % 7} v{i}" for i in range(300)]
+        job = MapReduceJob(
+            name="pick",
+            mapper=_split_mapper,
+            reducer=_tuple_reducer,
+            sample_limit=5,
+            seed=42,
+        )
+        assert parallel.run(data, job) == SerialExecutor().run(data, job)
+
+    def test_engine_with_parallel_executor(self, parallel):
+        engine = MapReduceEngine(parallel)
+        assert dict(engine.run(["a b a", "b c"], word_count_job())) == {
+            "a": 2,
+            "b": 2,
+            "c": 1,
+        }
+
+
+class TestFallbacks:
+    def test_unpicklable_reducer_falls_back_to_serial(self, parallel):
+        job = MapReduceJob(
+            name="closure",
+            mapper=_split_mapper,
+            reducer=lambda key, values: [(key, sum(values))],  # not picklable
+        )
+        before = parallel.fallbacks
+        out = parallel.run(CORPUS, job)
+        assert parallel.fallbacks == before + 1
+        assert out == SerialExecutor().run(CORPUS, job)
+
+    def test_tiny_group_count_falls_back(self):
+        with ParallelExecutor(max_workers=2, min_keys=100) as executor:
+            out = executor.run(CORPUS, word_count_job())
+            assert executor.fallbacks == 1
+            assert out == SerialExecutor().run(CORPUS, word_count_job())
+
+
+class TestSharding:
+    def test_shard_assignment_is_stable(self):
+        keys = ["alpha", ("a", "b"), ("a", "b", "c"), "omega"]
+        assignments = [shard_for_key(key, 8) for key in keys]
+        assert assignments == [shard_for_key(key, 8) for key in keys]
+        assert all(0 <= shard < 8 for shard in assignments)
+
+    def test_all_keys_survive_sharding(self, parallel):
+        data = [f"w{i}" for i in range(200)]
+        job = MapReduceJob(
+            name="identity", mapper=lambda r: [(r, r)], reducer=_tuple_reducer
+        )
+        # Lambda mapper is fine (maps in-process); reducer must pickle.
+        out = dict(parallel.run(data, job))
+        assert set(out) == set(data)

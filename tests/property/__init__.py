@@ -1,0 +1,1 @@
+"""Test package: property (package __init__ so duplicate basenames import distinctly)."""

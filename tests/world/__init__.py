@@ -1,0 +1,1 @@
+"""Test package: world (package __init__ so duplicate basenames import distinctly)."""
