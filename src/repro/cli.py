@@ -6,6 +6,7 @@ Usage::
     repro-kf run fig9 [--scale small] [--seed 0]
     repro-kf run all --scale tiny
     repro-kf fuse popaccu --backend vectorized [--scale small] [--seed 0]
+    repro-kf extract --backend parallel [--scale small] [--seed 0]
     python -m repro.cli run table2
 
 The scenario is generated deterministically from the seed; the first
@@ -13,6 +14,10 @@ experiment of a session pays the generation cost, later ones share it.
 ``fuse`` runs a single fusion method end-to-end under a chosen execution
 backend (serial scalar, process-pool parallel, or vectorized columnar) and
 prints a one-screen summary — the quickest way to compare backends.
+``extract`` runs only the extraction stage (world + corpus generation, then
+the 12 extractors) under a serial or parallel backend, timing the stage and
+reporting record/error counts plus the parallel executor's fallback
+counters; the record stream is bit-identical across backends.
 """
 
 from __future__ import annotations
@@ -22,12 +27,14 @@ import sys
 import time
 
 from repro.datasets import (
+    build_extraction_pipeline,
     build_scenario,
     medium_config,
     small_config,
     tiny_config,
 )
 from repro.experiments import experiment_ids, run_experiment
+from repro.extract.pipeline import EXTRACTION_BACKENDS
 from repro.fusion.base import BACKENDS
 
 _SCALES = {
@@ -81,6 +88,29 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the parallel backend (default: CPU count)",
     )
+
+    extract_parser = sub.add_parser(
+        "extract", help="run the extraction stage under a chosen backend"
+    )
+    extract_parser.add_argument(
+        "--backend",
+        choices=EXTRACTION_BACKENDS,
+        default="serial",
+        help="extraction backend (default: serial)",
+    )
+    extract_parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="small",
+        help="scenario preset (default: small)",
+    )
+    extract_parser.add_argument("--seed", type=int, default=0, help="master seed")
+    extract_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the parallel backend (default: CPU count)",
+    )
     return parser
 
 
@@ -121,6 +151,11 @@ def _run_fuse(args) -> int:
     print(f"method:        {result.method}")
     print(f"backend:       {result.diagnostics.get('backend', args.backend)}")
     print(f"backend used:  {result.diagnostics.get('backend_used', 'serial')}")
+    if "fallbacks_tiny" in result.diagnostics:
+        print(
+            f"fallbacks:     {result.diagnostics['fallbacks_tiny']} tiny, "
+            f"{result.diagnostics['fallbacks_unpicklable']} unpicklable"
+        )
     print(f"fusion time:   {elapsed:.3f}s")
     print(f"rounds:        {result.rounds} (converged: {result.converged})")
     print(f"triples:       {len(result.probabilities)}")
@@ -132,6 +167,54 @@ def _run_fuse(args) -> int:
     return 0
 
 
+def _run_extract(args) -> int:
+    from collections import Counter
+
+    from repro.mapreduce.executors import ParallelExecutor, SerialExecutor
+    from repro.world.webgen import generate_corpus
+    from repro.world.worldgen import generate_world
+
+    config = _SCALES[args.scale](seed=args.seed)
+    start = time.perf_counter()
+    world = generate_world(config.world, config.seed)
+    corpus = generate_corpus(world, config.web, config.seed)
+    pipeline = build_extraction_pipeline(config, world)
+    setup_elapsed = time.perf_counter() - start
+
+    executor = (
+        ParallelExecutor(max_workers=args.workers)
+        if args.backend == "parallel"
+        else SerialExecutor()
+    )
+    start = time.perf_counter()
+    try:
+        records = pipeline.run(corpus, backend=args.backend, executor=executor)
+    finally:
+        executor.close()
+    elapsed = time.perf_counter() - start
+
+    per_extractor = Counter(record.extractor for record in records)
+    errors = sum(1 for record in records if record.is_extraction_error)
+    top = ", ".join(f"{name}:{n}" for name, n in per_extractor.most_common(4))
+    print(f"backend:       {args.backend}")
+    print(f"pages:         {len(corpus.pages)} ({len(corpus.sites)} sites)")
+    print(f"setup time:    {setup_elapsed:.3f}s (world + corpus + extractors)")
+    print(
+        f"extract time:  {elapsed:.3f}s"
+        + (f" ({len(records) / elapsed:.0f} records/s)" if elapsed > 0 else "")
+    )
+    print(f"records:       {len(records)} (top extractors: {top})")
+    if records:
+        print(f"error records: {errors} ({errors / len(records):.1%})")
+    if isinstance(executor, ParallelExecutor):
+        print(f"workers:       {executor.max_workers}")
+        print(
+            f"fallbacks:     {executor.fallbacks_tiny} tiny, "
+            f"{executor.fallbacks_unpicklable} unpicklable"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -140,6 +223,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "fuse":
         return _run_fuse(args)
+    if args.command == "extract":
+        return _run_extract(args)
     scenario = build_scenario(_SCALES[args.scale](seed=args.seed))
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     for experiment_id in ids:

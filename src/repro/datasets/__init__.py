@@ -10,7 +10,12 @@ calibrated against the paper's Table 2.
 
 from repro.datasets.profiles import EXTRACTOR_PROFILES, profile_by_name
 from repro.datasets.presets import tiny_config, small_config, medium_config
-from repro.datasets.scenario import Scenario, ScenarioConfig, build_scenario
+from repro.datasets.scenario import (
+    Scenario,
+    ScenarioConfig,
+    build_extraction_pipeline,
+    build_scenario,
+)
 
 __all__ = [
     "EXTRACTOR_PROFILES",
@@ -21,4 +26,5 @@ __all__ = [
     "Scenario",
     "ScenarioConfig",
     "build_scenario",
+    "build_extraction_pipeline",
 ]

@@ -32,7 +32,12 @@ from repro.world.labels import build_templates
 from repro.world.webgen import WebCorpus, generate_corpus
 from repro.world.worldgen import generate_world
 
-__all__ = ["ScenarioConfig", "Scenario", "build_scenario"]
+__all__ = [
+    "ScenarioConfig",
+    "Scenario",
+    "build_scenario",
+    "build_extraction_pipeline",
+]
 
 
 @dataclass(frozen=True)
@@ -99,17 +104,10 @@ class Scenario:
 _SCENARIO_CACHE: dict[str, Scenario] = {}
 
 
-def build_scenario(config: ScenarioConfig, use_cache: bool = True) -> Scenario:
-    """Generate (or fetch from cache) the scenario for ``config``."""
-    key = config.cache_key()
-    if use_cache and key in _SCENARIO_CACHE:
-        return _SCENARIO_CACHE[key]
-
-    world = generate_world(config.world, config.seed)
-    freebase = build_freebase_snapshot(world)
-    corpus = generate_corpus(world, config.web, config.seed)
+def build_extraction_pipeline(config: ScenarioConfig, world: World) -> ExtractionPipeline:
+    """The 12-extractor pipeline for ``config`` over an already-built world
+    (shared by :func:`build_scenario` and the ``repro-kf extract`` CLI)."""
     templates = build_templates(world.schema)
-
     linkers = {
         name: EntityLinker(
             name=name,
@@ -125,8 +123,31 @@ def build_scenario(config: ScenarioConfig, use_cache: bool = True) -> Scenario:
         )
         for profile in config.extractors
     ]
-    pipeline = ExtractionPipeline(extractors)
-    records = pipeline.run(corpus)
+    return ExtractionPipeline(extractors)
+
+
+def build_scenario(
+    config: ScenarioConfig,
+    use_cache: bool = True,
+    backend: str = "serial",
+    n_workers: int | None = None,
+) -> Scenario:
+    """Generate (or fetch from cache) the scenario for ``config``.
+
+    ``backend`` selects the extraction execution backend (``serial`` or
+    ``parallel``); the records are bit-identical either way, so it is not
+    part of the cache key.
+    """
+    key = config.cache_key()
+    if use_cache and key in _SCENARIO_CACHE:
+        return _SCENARIO_CACHE[key]
+
+    world = generate_world(config.world, config.seed)
+    freebase = build_freebase_snapshot(world)
+    corpus = generate_corpus(world, config.web, config.seed)
+
+    pipeline = build_extraction_pipeline(config, world)
+    records = pipeline.run(corpus, backend=backend, n_workers=n_workers)
 
     labeler = LCWALabeler(freebase)
     unique = sorted({record.triple for record in records})

@@ -28,9 +28,14 @@ from repro.extract.text import TextExtractor
 from repro.extract.dom import DomExtractor
 from repro.extract.table import TableExtractor
 from repro.extract.annotation import AnnotationExtractor
-from repro.extract.pipeline import ExtractionPipeline, build_extractor
+from repro.extract.pipeline import (
+    EXTRACTION_BACKENDS,
+    ExtractionPipeline,
+    build_extractor,
+)
 
 __all__ = [
+    "EXTRACTION_BACKENDS",
     "ExtractionRecord",
     "ExtractionDebug",
     "ErrorKind",

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -25,7 +26,7 @@ from repro.extract.records import ExtractionDebug, ExtractionRecord
 from repro.kb.schema import Predicate, Schema, ValueKind
 from repro.kb.triples import Triple
 from repro.kb.values import EntityRef, StringValue, Value
-from repro.rng import split_seed
+from repro.rng import split_seed, stream_seed
 from repro.world.content import Mention
 from repro.world.literals import parse_literal, parse_literal_naive
 from repro.world.webgen import WebCorpus, WebPage
@@ -171,6 +172,33 @@ class Extractor(abc.ABC):
         draw = split_seed(self.seed, "coverage", self.name, page.url) % 1_000_000
         return draw / 1_000_000.0 < profile.page_coverage
 
+    def coverage_mask(self, pages: Sequence[WebPage]) -> np.ndarray:
+        """Batched :meth:`covers` over ``pages``: one pass per extractor.
+
+        Bit-identical to calling :meth:`covers` per page, but the seed
+        derivation ``split_seed(seed, "coverage", name, url)`` is factored
+        into a shared per-extractor prefix so each page costs one hash
+        instead of three — the coverage draws dominate pipeline dispatch
+        on large corpora (12 extractors × every page).
+        """
+        profile = self.profile
+        n = len(pages)
+        mask = np.ones(n, dtype=bool)
+        if profile.site_categories is not None:
+            categories = set(profile.site_categories)
+            mask &= np.fromiter(
+                (page.category in categories for page in pages), bool, count=n
+            )
+        if profile.page_coverage < 1.0:
+            prefix = split_seed(self.seed, "coverage", self.name)
+            draws = np.fromiter(
+                (stream_seed(prefix, page.url) % 1_000_000 for page in pages),
+                np.float64,
+                count=n,
+            )
+            mask &= (draws / 1_000_000.0) < profile.page_coverage
+        return mask
+
     def page_rng(self, url: str) -> np.random.Generator:
         return np.random.default_rng(split_seed(self.seed, "extract", self.name, url))
 
@@ -222,7 +250,18 @@ class Extractor(abc.ABC):
             and profile.misgrab_rate > 0
             and rng.random() < profile.misgrab_rate * (1.0 - reliability)
         ):
-            pool = [m for m in alternates if m.kind != "empty" and m is not mention]
+            # Exclude alternates by surface and kind, not object identity:
+            # any same-surface same-kind alternate (a duplicate rendering of
+            # this fact, or a different fact that happens to share the
+            # surface) reproduces the correct triple when "misgrabbed", so
+            # flagging it as a slot mismatch would mark a correct
+            # extraction as a triple-identification error.
+            pool = [
+                m
+                for m in alternates
+                if m.kind != "empty"
+                and (m.surface != mention.surface or m.kind != mention.kind)
+            ]
             if pool:
                 mention = pool[int(rng.integers(len(pool)))]
                 slot_mismatch = True
@@ -233,7 +272,16 @@ class Extractor(abc.ABC):
             return None
         expected_kind = _KIND_OF_VALUEKIND[predicate.value_kind]
         if profile.kind_checking and mention.kind != expected_kind:
-            return None
+            # One exception: an entity mention can still satisfy a
+            # *string*-valued predicate through the string fallback — the
+            # raw surface is a well-kinded string object (the paper's
+            # raw-string objects).  Everything else fails the kind check.
+            if not (
+                mention.kind == "entity"
+                and expected_kind == "string"
+                and profile.string_fallback
+            ):
+                return None
 
         span_corrupted = False
         surface = mention.surface
@@ -248,7 +296,12 @@ class Extractor(abc.ABC):
 
         ambiguity = 1
         value: Value | None
-        if mention.kind == "entity":
+        if mention.kind == "entity" and profile.kind_checking and expected_kind == "string":
+            # Kind-checked string predicate (the exception above): emit the
+            # raw surface without linking — an EntityRef object would
+            # contradict the extractor's own kind check.
+            value = StringValue(surface)
+        elif mention.kind == "entity":
             ambiguity = max(1, self.linker.ambiguity(surface))
             linked = self.linker.resolve(
                 surface,
@@ -259,8 +312,8 @@ class Extractor(abc.ABC):
             if linked is not None:
                 value = EntityRef(linked)
             elif profile.string_fallback and not profile.kind_checking:
-                value = StringValue(surface)
-            elif profile.string_fallback and expected_kind == "string":
+                # A kind checker never downgrades an *entity*-valued
+                # predicate's object to a raw string.
                 value = StringValue(surface)
             else:
                 return None
@@ -304,11 +357,22 @@ class Extractor(abc.ABC):
         """All records this extractor produces from ``page``."""
 
     def extract_corpus(self, corpus: WebCorpus) -> list[ExtractionRecord]:
-        """Extraction over every covered page of ``corpus``."""
+        """Classified extraction over every covered page of ``corpus``.
+
+        Records pass through the same injected-error classification as
+        :meth:`ExtractionPipeline.run <repro.extract.pipeline.ExtractionPipeline.run>`,
+        so single-extractor runs carry the same debug channels as full
+        pipeline runs.
+        """
+        # Deferred import: pipeline imports this module for the base class.
+        from repro.extract.pipeline import classify_record
+
         records: list[ExtractionRecord] = []
-        for page in corpus.pages:
-            if self.covers(page):
-                records.extend(self.extract_page(page))
+        mask = self.coverage_mask(corpus.pages)
+        for covered, page in zip(mask, corpus.pages):
+            if covered:
+                for record in self.extract_page(page):
+                    records.append(classify_record(record, page))
         return records
 
     def reliability_for(self, key: str) -> float:

@@ -16,25 +16,57 @@ the page's hidden assertion it came from:
 
 Fusion never sees these tags; the test suite checks that stripping the
 debug channel does not change fusion output.
+
+Execution backends (``ExtractionPipeline.run(backend=...)``):
+
+- ``serial`` — the reference path: one in-process pass over pages ×
+  extractors (page-major, extractor-major emission order);
+- ``parallel`` — the corpus is sharded by stable page-URL hash
+  (:func:`~repro.mapreduce.executors.shard_for_key`) and each shard's
+  page × extractor extraction + classification runs in a process-pool
+  worker via the executors' map-only protocol
+  (:class:`~repro.mapreduce.executors.ShardedMapJob`).  Extraction is
+  order-insensitive by design — every noisy draw derives from
+  ``split_seed(seed, extractor, url)`` — and the parent re-emits each
+  page's records at the page's corpus position, so the parallel record
+  stream is bit-identical to the serial one.  Shard outputs cross the
+  process boundary as compact tuples
+  (:func:`~repro.extract.records.records_to_wire`), not pickled
+  dataclass lists.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.errors import ExtractionError
+from repro.errors import ConfigError, ExtractionError
 from repro.extract.annotation import AnnotationExtractor
 from repro.extract.base import Extractor, ExtractorProfile
 from repro.extract.dom import DomExtractor
 from repro.extract.linkage import EntityLinker
-from repro.extract.records import ErrorKind, ExtractionDebug, ExtractionRecord
+from repro.extract.records import (
+    ErrorKind,
+    ExtractionDebug,
+    ExtractionRecord,
+    records_from_wire,
+    records_to_wire,
+)
 from repro.extract.table import TableExtractor
 from repro.extract.text import TextExtractor
 from repro.kb.schema import Schema
+from repro.mapreduce.executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    ShardedMapJob,
+)
 from repro.world.labels import TemplateSpec
 from repro.world.webgen import WebCorpus, WebPage
 
-__all__ = ["build_extractor", "ExtractionPipeline"]
+__all__ = ["build_extractor", "ExtractionPipeline", "EXTRACTION_BACKENDS"]
+
+#: Execution backends for the extraction stage (see module docstring).
+EXTRACTION_BACKENDS = ("serial", "parallel")
 
 
 def build_extractor(
@@ -95,22 +127,99 @@ def classify_record(record: ExtractionRecord, page: WebPage) -> ExtractionRecord
     return replace(record, debug=new)
 
 
-@dataclass
-class ExtractionPipeline:
-    """Runs a fleet of extractors over a corpus."""
+@dataclass(frozen=True)
+class _ExtractShard:
+    """Picklable per-shard extraction task (ships whole to each worker).
 
-    extractors: list[Extractor]
+    Runs the seed-identical page × extractor loop of the serial reference
+    over one shard of pages and returns one classified record list per
+    page.  Page coverage is decided by one batched
+    :meth:`~repro.extract.base.Extractor.coverage_mask` pass per extractor
+    instead of a per-page ``covers()`` call.
+    """
 
-    def run(self, corpus: WebCorpus) -> list[ExtractionRecord]:
-        """All classified extraction records, page-major then extractor-major."""
-        records: list[ExtractionRecord] = []
-        for page in corpus.pages:
-            for extractor in self.extractors:
-                if not extractor.covers(page):
+    extractors: tuple[Extractor, ...]
+
+    def __call__(self, pages: list[WebPage]) -> list[list[ExtractionRecord]]:
+        masks = [extractor.coverage_mask(pages) for extractor in self.extractors]
+        per_page: list[list[ExtractionRecord]] = []
+        for index, page in enumerate(pages):
+            records: list[ExtractionRecord] = []
+            for extractor, mask in zip(self.extractors, masks):
+                if not mask[index]:
                     continue
                 for record in extractor.extract_page(page):
                     records.append(classify_record(record, page))
-        return records
+            per_page.append(records)
+        return per_page
+
+
+def _page_url(page: WebPage) -> str:
+    return page.url
+
+
+@dataclass
+class ExtractionPipeline:
+    """Runs a fleet of extractors over a corpus.
+
+    ``backend``/``n_workers`` set the default execution backend for
+    :meth:`run` (overridable per call): ``serial`` is the in-process
+    reference, ``parallel`` shards pages by stable URL hash over a process
+    pool with bit-identical output.
+    """
+
+    extractors: list[Extractor]
+    backend: str = "serial"
+    n_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in EXTRACTION_BACKENDS:
+            raise ConfigError(
+                f"extraction backend must be one of {EXTRACTION_BACKENDS}, "
+                f"got {self.backend!r}"
+            )
+
+    def run(
+        self,
+        corpus: WebCorpus,
+        backend: str | None = None,
+        n_workers: int | None = None,
+        executor: Executor | None = None,
+    ) -> list[ExtractionRecord]:
+        """All classified extraction records, page-major then extractor-major.
+
+        ``backend`` overrides the pipeline default for this call;
+        ``executor`` overrides both with a caller-managed executor (which
+        the caller also closes — the CLI uses this to read the fallback
+        counters afterwards).
+        """
+        requested = backend if backend is not None else self.backend
+        if requested not in EXTRACTION_BACKENDS:
+            raise ConfigError(
+                f"extraction backend must be one of {EXTRACTION_BACKENDS}, "
+                f"got {requested!r}"
+            )
+        owns_executor = executor is None
+        if executor is None:
+            if requested == "parallel":
+                executor = ParallelExecutor(
+                    max_workers=n_workers if n_workers is not None else self.n_workers
+                )
+            else:
+                executor = SerialExecutor()
+        job = ShardedMapJob(
+            name="extract.pages",
+            map_shard=_ExtractShard(tuple(self.extractors)),
+            key_fn=_page_url,
+            encode=records_to_wire,
+            decode=records_from_wire,
+        )
+        try:
+            per_page = executor.run_map(corpus.pages, job)
+        finally:
+            if owns_executor:
+                executor.close()
+        return [record for page_records in per_page for record in page_records]
 
     def by_name(self, name: str) -> Extractor:
         for extractor in self.extractors:

@@ -18,7 +18,13 @@ from dataclasses import dataclass, replace
 
 from repro.kb.triples import Triple
 
-__all__ = ["ErrorKind", "ExtractionDebug", "ExtractionRecord"]
+__all__ = [
+    "ErrorKind",
+    "ExtractionDebug",
+    "ExtractionRecord",
+    "records_to_wire",
+    "records_from_wire",
+]
 
 
 class ErrorKind(enum.Enum):
@@ -87,3 +93,73 @@ class ExtractionRecord:
     def is_source_error(self) -> bool:
         """Analysis helper; requires the debug channel."""
         return self.debug is not None and self.debug.source_error
+
+
+# ---------------------------------------------------------------------------
+# Wire format for crossing process boundaries
+# ---------------------------------------------------------------------------
+# Pickling slotted dataclasses repeats every slot name per object; shuffled
+# extraction shards instead cross the worker→parent boundary as flat tuples
+# of primitives (triples via their canonical text), roughly halving the
+# per-record wire size.  The round-trip is exact: ``Triple.from_canonical``
+# inverts ``canonical()`` and value normalisation happens at construction.
+
+
+def records_to_wire(records: list[ExtractionRecord]) -> list[tuple]:
+    """Flatten records into compact picklable tuples (worker side)."""
+    wire = []
+    for r in records:
+        d = r.debug
+        debug = (
+            None
+            if d is None
+            else (
+                d.asserted_index,
+                None if d.error_kind is None else d.error_kind.value,
+                d.source_error,
+                d.span_corrupted,
+                d.slot_mismatch,
+            )
+        )
+        wire.append(
+            (
+                r.triple.canonical(),
+                r.extractor,
+                r.url,
+                r.site,
+                r.content_type,
+                r.pattern,
+                r.confidence,
+                debug,
+            )
+        )
+    return wire
+
+
+def records_from_wire(wire: list[tuple]) -> list[ExtractionRecord]:
+    """Inverse of :func:`records_to_wire` (parent side)."""
+    records = []
+    for triple, extractor, url, site, content_type, pattern, confidence, debug in wire:
+        records.append(
+            ExtractionRecord(
+                triple=Triple.from_canonical(triple),
+                extractor=extractor,
+                url=url,
+                site=site,
+                content_type=content_type,
+                pattern=pattern,
+                confidence=confidence,
+                debug=(
+                    None
+                    if debug is None
+                    else ExtractionDebug(
+                        asserted_index=debug[0],
+                        error_kind=None if debug[1] is None else ErrorKind(debug[1]),
+                        source_error=debug[2],
+                        span_corrupted=debug[3],
+                        slot_mismatch=debug[4],
+                    )
+                ),
+            )
+        )
+    return records

@@ -37,7 +37,10 @@ Execution backends (``FusionConfig.backend``):
   subsets are defined in terms of the scalar dataflow.
 
 ``result.diagnostics["backend"]`` records what was requested and
-``["backend_used"]`` what actually ran.
+``["backend_used"]`` what actually ran; ``parallel`` runs also report the
+executor's ``fallbacks_tiny`` / ``fallbacks_unpicklable`` counters (jobs
+that reduced in-process because dispatch could not pay off, or because the
+reducer would not pickle).
 """
 
 from __future__ import annotations
@@ -325,6 +328,14 @@ def _run_mapreduce(
             if delta < config.convergence_tol:
                 converged = True
                 break
+        fallback_diagnostics = (
+            {
+                "fallbacks_tiny": executor.fallbacks_tiny,
+                "fallbacks_unpicklable": executor.fallbacks_unpicklable,
+            }
+            if isinstance(executor, ParallelExecutor)
+            else {}
+        )
     finally:
         engine.executor.close()
 
@@ -357,6 +368,7 @@ def _run_mapreduce(
             "n_active_final": len(active_set(rounds_run)),
             "backend": requested,
             "backend_used": backend_used,
+            **fallback_diagnostics,
         },
     )
     if track_rounds:

@@ -9,11 +9,18 @@ Execution is pluggable: the reduce phase runs through an
 :class:`~repro.mapreduce.executors.Executor` — serial in-process by
 default, or sharded across a process pool by
 :class:`~repro.mapreduce.executors.ParallelExecutor` with bit-identical
-output.
+output.  Executors also run map-only jobs
+(:class:`~repro.mapreduce.executors.ShardedMapJob`, key-hash-sharded with
+outputs in input order) — the protocol the extraction stage scales on.
 """
 
 from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
-from repro.mapreduce.executors import Executor, ParallelExecutor, SerialExecutor
+from repro.mapreduce.executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    ShardedMapJob,
+)
 from repro.mapreduce.job import IterativeJob, run_iterative
 
 __all__ = [
@@ -22,6 +29,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "ShardedMapJob",
     "IterativeJob",
     "run_iterative",
 ]

@@ -26,7 +26,16 @@ Reducers shipped to workers must be picklable (module-level functions or
 dataclasses; the fusion stages satisfy this).  When a reducer cannot be
 pickled — e.g. the closure-based reducers third-party extensions may pass —
 the parallel executor transparently falls back to in-process reduction and
-counts the event in ``fallbacks``.
+counts the event in ``fallbacks_unpicklable``; jobs too small for dispatch
+overhead to pay off are counted in ``fallbacks_tiny`` (``fallbacks`` sums
+both).
+
+Besides the keyed map-reduce contract, executors also run *map-only* jobs
+(:class:`ShardedMapJob`): an order-insensitive map over keyed items,
+sharded by the same stable key hash, with outputs re-emitted in the input
+order.  This is the protocol the extraction stage runs on — each shard of
+pages is extracted in a worker and the parent reassembles the corpus-order
+record stream, bit-identical to the serial loop.
 """
 
 from __future__ import annotations
@@ -47,7 +56,9 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "ShardedMapJob",
     "shard_for_key",
+    "map_serial",
     "reduce_serial",
 ]
 
@@ -109,6 +120,64 @@ def _reduce_shard(
     return outputs
 
 
+@dataclass(frozen=True)
+class ShardedMapJob:
+    """A map-only job: order-insensitive work over keyed items.
+
+    ``map_shard(items)`` processes one shard's items (in the order given)
+    and returns exactly one output per item; the executor re-emits outputs
+    in the original input order, so serial and parallel execution are
+    indistinguishable.  The map must be *order-insensitive*: an item's
+    output may depend only on the item itself (the extraction stage
+    satisfies this — every noisy draw derives from the page URL).
+
+    ``key_fn`` yields the stable shard key for an item (hashed with
+    :func:`shard_for_key`; it runs only in the parent and need not
+    pickle).  ``map_shard`` and the optional wire codec must be picklable
+    for the parallel backend; ``encode`` compacts each output in the
+    worker before it crosses the process boundary and ``decode`` restores
+    it in the parent — the extraction stage uses this to ship records as
+    compact tuples instead of full pickled dataclass lists.
+    """
+
+    name: str
+    map_shard: Callable[[list], list]
+    key_fn: Callable[[Any], Any]
+    encode: Callable[[Any], Any] | None = None
+    decode: Callable[[Any], Any] | None = None
+
+
+def _map_shard_worker(
+    spec_bytes: bytes, indexed_items: list[tuple[int, Any]]
+) -> list[tuple[int, Any]]:
+    """Worker body for one :class:`ShardedMapJob` shard.
+
+    Returns ``(input_index, encoded_output)`` pairs; the parent slots each
+    output back at its input index, restoring the serial emission order.
+    """
+    map_shard, encode = pickle.loads(spec_bytes)
+    outputs = map_shard([item for _index, item in indexed_items])
+    if len(outputs) != len(indexed_items):
+        raise ValueError(
+            f"map_shard returned {len(outputs)} outputs for "
+            f"{len(indexed_items)} items; the contract is one per item"
+        )
+    if encode is not None:
+        outputs = [encode(output) for output in outputs]
+    return [(index, output) for (index, _item), output in zip(indexed_items, outputs)]
+
+
+def map_serial(items: list, job: ShardedMapJob) -> list:
+    """The reference map-only path: one in-process pass, no wire codec."""
+    outputs = list(job.map_shard(items))
+    if len(outputs) != len(items):
+        raise ValueError(
+            f"job {job.name}: map_shard returned {len(outputs)} outputs "
+            f"for {len(items)} items; the contract is one per item"
+        )
+    return outputs
+
+
 def reduce_serial(groups: dict[Any, list], job) -> list[Any]:
     """The reference reduce: sorted keys, per-key sampling, in-process."""
     outputs: list[Any] = []
@@ -124,11 +193,15 @@ def reduce_serial(groups: dict[Any, list], job) -> list[Any]:
 class Executor(Protocol):
     """Execution policy: run one job over records, return reducer outputs.
 
-    ``close()`` releases any held resources (worker pools); it must be
-    safe to call repeatedly and on executors that never ran a job.
+    ``run`` executes a keyed map-reduce job; ``run_map`` a map-only
+    :class:`ShardedMapJob` (outputs in input order).  ``close()`` releases
+    any held resources (worker pools); it must be safe to call repeatedly
+    and on executors that never ran a job.
     """
 
     def run(self, records: Iterable[Any], job) -> list[Any]: ...
+
+    def run_map(self, items: Iterable[Any], job: ShardedMapJob) -> list[Any]: ...
 
     def close(self) -> None: ...
 
@@ -140,6 +213,9 @@ class SerialExecutor:
 
     def run(self, records: Iterable[Any], job) -> list[Any]:
         return reduce_serial(map_and_shuffle(records, job.mapper), job)
+
+    def run_map(self, items: Iterable[Any], job: ShardedMapJob) -> list[Any]:
+        return map_serial(list(items), job)
 
     def close(self) -> None:  # symmetry with ParallelExecutor
         pass
@@ -167,8 +243,14 @@ class ParallelExecutor:
     def __init__(self, max_workers: int | None = None, min_keys: int = 2) -> None:
         self.max_workers = max_workers or max(2, os.cpu_count() or 1)
         self.min_keys = min_keys
-        self.fallbacks = 0  # jobs reduced in-process (unpicklable / tiny)
+        self.fallbacks_tiny = 0  # jobs too small for dispatch to pay off
+        self.fallbacks_unpicklable = 0  # jobs whose work unit cannot pickle
         self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def fallbacks(self) -> int:
+        """Total jobs that ran in-process despite the parallel backend."""
+        return self.fallbacks_tiny + self.fallbacks_unpicklable
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -188,7 +270,7 @@ class ParallelExecutor:
         groups = map_and_shuffle(records, job.mapper)
         sorted_keys = sorted(groups)
         if len(sorted_keys) < self.min_keys:
-            self.fallbacks += 1
+            self.fallbacks_tiny += 1
             return reduce_serial(groups, job)
         spec = _ReduceSpec(
             name=job.name,
@@ -199,7 +281,7 @@ class ParallelExecutor:
         try:
             spec_bytes = pickle.dumps(spec)
         except Exception:
-            self.fallbacks += 1
+            self.fallbacks_unpicklable += 1
             return reduce_serial(groups, job)
 
         n_shards = min(self.max_workers * 4, len(sorted_keys))
@@ -217,6 +299,35 @@ class ParallelExecutor:
                 by_key[key] = outputs
         # Re-emit in global sorted-key order: bit-identical to serial.
         return [output for key in sorted_keys for output in by_key[key]]
+
+    def run_map(self, items: Iterable[Any], job: ShardedMapJob) -> list[Any]:
+        """Run a map-only job over a process pool, outputs in input order."""
+        items = list(items)
+        if len(items) < self.min_keys:
+            self.fallbacks_tiny += 1
+            return map_serial(items, job)
+        try:
+            spec_bytes = pickle.dumps((job.map_shard, job.encode))
+        except Exception:
+            self.fallbacks_unpicklable += 1
+            return map_serial(items, job)
+
+        n_shards = min(self.max_workers * 4, len(items))
+        shards: list[list[tuple[int, Any]]] = [[] for _ in range(n_shards)]
+        for index, item in enumerate(items):
+            shards[shard_for_key(job.key_fn(item), n_shards)].append((index, item))
+
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_map_shard_worker, spec_bytes, shard)
+            for shard in shards
+            if shard
+        ]
+        outputs: list[Any] = [None] * len(items)
+        for future in futures:
+            for index, output in future.result():
+                outputs[index] = job.decode(output) if job.decode else output
+        return outputs
 
     def close(self) -> None:
         if self._pool is not None:

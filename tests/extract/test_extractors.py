@@ -204,6 +204,9 @@ class TestNoiseMechanisms:
         records = extractor.extract_corpus(clean_corpus)
         assert records
         assert all(r.confidence is None for r in records)
+        # extract_corpus classifies like the pipeline: a perfect extractor
+        # on a clean corpus carries only clean debug channels.
+        assert all(r.debug is not None and r.debug.error_kind is None for r in records)
 
     def test_value_kind_restriction(self, clean_world, clean_corpus, linker):
         from repro.kb.values import EntityRef
@@ -219,6 +222,33 @@ class TestNoiseMechanisms:
         records = extractor.extract_corpus(clean_corpus)
         assert records
         assert all(isinstance(r.triple.obj, EntityRef) for r in records)
+        assert all(r.debug is not None and r.debug.error_kind is None for r in records)
+
+    def test_extract_corpus_classifies_like_pipeline(
+        self, clean_world, clean_corpus, linker
+    ):
+        """Regression: extract_corpus used to skip classify_record, so its
+        debug channels silently carried error_kind=None everywhere."""
+        from repro.extract.pipeline import classify_record
+
+        extractor = perfect_extractor(
+            DomExtractor,
+            "DOMM",
+            ("DOM",),
+            clean_world,
+            linker,
+            kind_checking=False,
+            misgrab_rate=1.0,
+            reliability_mean=0.2,
+            reliability_concentration=30.0,
+        )
+        records = extractor.extract_corpus(clean_corpus)
+        assert records
+        pages = {page.url: page for page in clean_corpus.pages}
+        reclassified = [classify_record(r, pages[r.url]) for r in records]
+        assert records == reclassified  # classification is idempotent
+        # A misgrab-heavy extractor must surface concrete error kinds.
+        assert any(r.debug.error_kind is not None for r in records)
 
 
 class TestDomSpecifics:

@@ -1,8 +1,14 @@
 """Unit tests for extraction records and the debug channel."""
 
-from repro.extract.records import ErrorKind, ExtractionDebug, ExtractionRecord
+from repro.extract.records import (
+    ErrorKind,
+    ExtractionDebug,
+    ExtractionRecord,
+    records_from_wire,
+    records_to_wire,
+)
 from repro.kb.triples import Triple
-from repro.kb.values import StringValue
+from repro.kb.values import DateValue, EntityRef, NumberValue, StringValue
 
 
 def make_record(**kwargs):
@@ -59,6 +65,39 @@ class TestErrorFlags:
         record = make_record(debug=None)
         assert not record.is_extraction_error
         assert not record.is_source_error
+
+
+class TestWireFormat:
+    """The compact tuple codec used to ship shard outputs between
+    processes must round-trip records exactly."""
+
+    def test_round_trip_all_value_kinds(self):
+        records = [
+            make_record(),
+            make_record(triple=Triple("/m/2", "p/t/b", EntityRef("/m/9"))),
+            make_record(triple=Triple("/m/3", "p/t/c", NumberValue(1986.5))),
+            make_record(triple=Triple("/m/4", "p/t/d", DateValue("1962-07-03"))),
+            make_record(pattern=None, confidence=None),
+            make_record(debug=None),
+            make_record(
+                debug=ExtractionDebug(
+                    asserted_index=None,
+                    error_kind=ErrorKind.TRIPLE_IDENTIFICATION,
+                    source_error=False,
+                    span_corrupted=True,
+                    slot_mismatch=True,
+                )
+            ),
+        ]
+        assert records_from_wire(records_to_wire(records)) == records
+
+    def test_wire_is_flat_tuples(self):
+        wire = records_to_wire([make_record()])
+        assert isinstance(wire[0], tuple)
+        assert all(
+            item is None or isinstance(item, (str, int, float, bool, tuple))
+            for item in wire[0]
+        )
 
 
 class TestErrorKinds:

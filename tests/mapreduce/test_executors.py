@@ -7,6 +7,7 @@ from repro.mapreduce.executors import (
     Executor,
     ParallelExecutor,
     SerialExecutor,
+    ShardedMapJob,
     shard_for_key,
 )
 
@@ -91,16 +92,108 @@ class TestFallbacks:
             mapper=_split_mapper,
             reducer=lambda key, values: [(key, sum(values))],  # not picklable
         )
-        before = parallel.fallbacks
+        before = parallel.fallbacks_unpicklable
+        before_tiny = parallel.fallbacks_tiny
         out = parallel.run(CORPUS, job)
-        assert parallel.fallbacks == before + 1
+        assert parallel.fallbacks_unpicklable == before + 1
+        assert parallel.fallbacks_tiny == before_tiny
         assert out == SerialExecutor().run(CORPUS, job)
 
     def test_tiny_group_count_falls_back(self):
         with ParallelExecutor(max_workers=2, min_keys=100) as executor:
             out = executor.run(CORPUS, word_count_job())
-            assert executor.fallbacks == 1
+            assert executor.fallbacks_tiny == 1
+            assert executor.fallbacks_unpicklable == 0
             assert out == SerialExecutor().run(CORPUS, word_count_job())
+
+    def test_fallbacks_sums_both_counters(self):
+        executor = ParallelExecutor(max_workers=2)
+        executor.fallbacks_tiny = 2
+        executor.fallbacks_unpicklable = 3
+        assert executor.fallbacks == 5
+
+
+def _square_shard(items):
+    return [item * item for item in items]
+
+
+def _identity_key(item):
+    return item
+
+
+def _encode_out(value):
+    return ("wire", value)
+
+
+def _decode_out(wire):
+    tag, value = wire
+    assert tag == "wire"
+    return value
+
+
+def square_map_job(encode=None, decode=None):
+    return ShardedMapJob(
+        name="square",
+        map_shard=_square_shard,
+        key_fn=_identity_key,
+        encode=encode,
+        decode=decode,
+    )
+
+
+class TestShardedMap:
+    ITEMS = list(range(37))
+
+    def test_serial_preserves_input_order(self):
+        assert SerialExecutor().run_map(self.ITEMS, square_map_job()) == [
+            i * i for i in self.ITEMS
+        ]
+
+    def test_parallel_identical_to_serial(self, parallel):
+        job = square_map_job()
+        assert parallel.run_map(self.ITEMS, job) == SerialExecutor().run_map(
+            self.ITEMS, job
+        )
+        assert parallel.fallbacks_tiny == 0
+
+    def test_wire_codec_round_trips(self, parallel):
+        job = square_map_job(encode=_encode_out, decode=_decode_out)
+        assert parallel.run_map(self.ITEMS, job) == [i * i for i in self.ITEMS]
+
+    def test_serial_path_skips_wire_codec(self):
+        # In-process there is no boundary to cross; encode/decode must not run.
+        def boom(_value):
+            raise AssertionError("codec ran in-process")
+
+        job = square_map_job(encode=boom, decode=boom)
+        assert SerialExecutor().run_map(self.ITEMS, job) == [
+            i * i for i in self.ITEMS
+        ]
+
+    def test_tiny_item_count_falls_back(self):
+        with ParallelExecutor(max_workers=2, min_keys=100) as executor:
+            out = executor.run_map(self.ITEMS, square_map_job())
+            assert out == [i * i for i in self.ITEMS]
+            assert executor.fallbacks_tiny == 1
+
+    def test_unpicklable_map_falls_back(self, parallel):
+        job = ShardedMapJob(
+            name="closure",
+            map_shard=lambda items: [i * i for i in items],  # not picklable
+            key_fn=_identity_key,
+        )
+        before = parallel.fallbacks_unpicklable
+        assert parallel.run_map(self.ITEMS, job) == [i * i for i in self.ITEMS]
+        assert parallel.fallbacks_unpicklable == before + 1
+
+    def test_wrong_output_arity_rejected(self):
+        job = ShardedMapJob(
+            name="dropper",
+            map_shard=lambda items: items[:-1],
+            key_fn=_identity_key,
+        )
+        with pytest.raises(ValueError):
+            SerialExecutor().run_map(self.ITEMS, job)
 
 
 class TestSharding:

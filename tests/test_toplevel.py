@@ -86,3 +86,30 @@ class TestCLI:
     def test_bad_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "fig9", "--scale", "galactic"])
+
+    def test_extract_serial(self, capsys):
+        assert main(["extract", "--scale", "tiny", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "backend:       serial" in out
+        assert "records:" in out and "extract time:" in out
+
+    def test_extract_parallel_reports_fallbacks(self, capsys):
+        assert (
+            main(
+                ["extract", "--scale", "tiny", "--seed", "7",
+                 "--backend", "parallel", "--workers", "2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "backend:       parallel" in out
+        assert "fallbacks:" in out and "tiny" in out and "unpicklable" in out
+
+    def test_extract_backends_report_identical_record_counts(self, capsys):
+        main(["extract", "--scale", "tiny", "--seed", "7"])
+        serial_out = capsys.readouterr().out
+        main(["extract", "--scale", "tiny", "--seed", "7",
+              "--backend", "parallel", "--workers", "2"])
+        parallel_out = capsys.readouterr().out
+        line = next(l for l in serial_out.splitlines() if l.startswith("records:"))
+        assert line in parallel_out
