@@ -4,7 +4,23 @@ Unlike the per-figure benches (one-shot regeneration), these measure the
 hot paths with repeated rounds: world generation, extraction, claim-matrix
 construction, and one fusion round — the numbers that determine how far
 the laptop-scale reproduction can be pushed.
+
+Besides the pytest-benchmark cases, this module is directly runnable::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py [--scale small]
+
+which runs the full pipeline end-to-end under the serial and parallel
+backends on one shared executor each, asserts the outputs are
+bit-identical, and writes the machine-readable per-stage wall-clock
+comparison to ``benchmarks/results/BENCH_pipeline.json`` — the artifact
+the ROADMAP speedup numbers come from.
 """
+
+import argparse
+import json
+import os
+import platform
+from pathlib import Path
 
 from repro.datasets import ScenarioConfig, build_scenario
 from repro.fusion import FusionConfig, FusionInput, Granularity, popaccu
@@ -85,6 +101,32 @@ def bench_popaccu_round(benchmark, scenario):
     assert result.probabilities
 
 
+def bench_popaccu_round_parallel(benchmark, scenario):
+    """The same POPACCU round through the columnar-shuffle parallel backend.
+
+    Compare against ``bench_popaccu_round``: shard payloads are integer
+    item/provenance ids plus contiguous float buffers (the claim columns
+    are pool-resident), so the wall-clock difference against serial is
+    pure pool dispatch plus real parallel compute — no object pickling.
+    """
+    from repro.mapreduce.executors import ParallelExecutor
+
+    fusion_input = scenario.fusion_input()
+    config = FusionConfig(max_rounds=1, convergence_tol=0.0)
+    fusion_input.claims(config.granularity).columnar()  # build index once
+
+    with ParallelExecutor() as executor:
+
+        def one_round():
+            return popaccu(config, backend="parallel").fuse(
+                fusion_input, executor=executor
+            )
+
+        result = benchmark.pedantic(one_round, rounds=3, iterations=1)
+    assert result.probabilities
+    assert result.diagnostics["backend_used"] == "parallel"
+
+
 def bench_popaccu_round_vectorized(benchmark, scenario):
     """The same POPACCU round through the vectorized columnar backend.
 
@@ -103,3 +145,87 @@ def bench_popaccu_round_vectorized(benchmark, scenario):
     result = benchmark.pedantic(one_round, rounds=3, iterations=1)
     assert result.probabilities
     assert result.diagnostics["backend_used"] == "vectorized"
+
+
+# ---------------------------------------------------------------------------
+# Script mode: serial vs. parallel end-to-end, machine-readable
+# ---------------------------------------------------------------------------
+
+
+def collect_pipeline_timings(
+    scale: str = "small", seed: int = 0, workers: int | None = None
+) -> dict:
+    """Serial vs. parallel per-stage wall-clock for the full pipeline.
+
+    Both runs go through :func:`repro.endtoend.run_end_to_end` (one shared
+    executor per run); the parallel run's output is asserted bit-identical
+    to the serial run's before any number is reported, so the comparison
+    can never quietly measure two different computations.
+    """
+    from repro.datasets import medium_config, small_config, tiny_config
+    from repro.endtoend import run_end_to_end
+
+    config = {"tiny": tiny_config, "small": small_config, "medium": medium_config}[
+        scale
+    ](seed=seed)
+    serial = run_end_to_end(config, method="popaccu+", backend="serial")
+    parallel = run_end_to_end(
+        config, method="popaccu+", backend="parallel", n_workers=workers
+    )
+    assert serial.fusion.probabilities == parallel.fusion.probabilities
+    assert serial.fusion.accuracies == parallel.fusion.accuracies
+    assert serial.scenario.records == parallel.scenario.records
+
+    def round3(timings: dict) -> dict:
+        return {stage: round(elapsed, 3) for stage, elapsed in timings.items()}
+
+    return {
+        "scale": scale,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "workers": parallel.diagnostics.get("n_workers"),
+        "python": platform.python_version(),
+        "n_pages": serial.diagnostics["n_pages"],
+        "n_records": serial.diagnostics["n_records"],
+        "bit_identical": True,
+        "stages": {
+            "serial": round3(serial.timings),
+            "parallel": round3(parallel.timings),
+        },
+        "parallel_fallbacks": {
+            "tiny": parallel.diagnostics.get("fallbacks_tiny", 0),
+            "unpicklable": parallel.diagnostics.get("fallbacks_unpicklable", 0),
+        },
+        "metrics": {name: round(v, 6) for name, v in serial.metrics.items()},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serial vs. parallel pipeline wall-clock -> BENCH_pipeline.json"
+    )
+    parser.add_argument(
+        "--scale", choices=("tiny", "small", "medium"), default="small"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel worker count (default: CPU count)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).parent / "results" / "BENCH_pipeline.json",
+    )
+    args = parser.parse_args(argv)
+
+    report = collect_pipeline_timings(args.scale, args.seed, args.workers)
+    args.out.parent.mkdir(exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

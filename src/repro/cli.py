@@ -7,6 +7,7 @@ Usage::
     repro-kf run all --scale tiny
     repro-kf fuse popaccu --backend vectorized [--scale small] [--seed 0]
     repro-kf extract --backend parallel [--scale small] [--seed 0]
+    repro-kf pipeline popaccu+ --backend parallel [--workers 4]
     python -m repro.cli run table2
 
 The scenario is generated deterministically from the seed; the first
@@ -18,6 +19,10 @@ prints a one-screen summary — the quickest way to compare backends.
 the 12 extractors) under a serial or parallel backend, timing the stage and
 reporting record/error counts plus the parallel executor's fallback
 counters; the record stream is bit-identical across backends.
+``pipeline`` runs the whole thing — extraction → gold labeling → fusion —
+on a *single shared executor* (one worker pool for both stages; see
+:func:`repro.endtoend.run_end_to_end`), printing per-stage timings and the
+headline metrics; output is bit-identical across backends.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ from repro.datasets import (
     small_config,
     tiny_config,
 )
+from repro.endtoend import PIPELINE_METHODS
 from repro.experiments import experiment_ids, run_experiment
 from repro.extract.pipeline import EXTRACTION_BACKENDS
 from repro.fusion.base import BACKENDS
@@ -43,7 +49,7 @@ _SCALES = {
     "medium": medium_config,
 }
 
-_FUSE_METHODS = ("vote", "accu", "popaccu", "popaccu+unsup", "popaccu+")
+_FUSE_METHODS = PIPELINE_METHODS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -111,19 +117,44 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the parallel backend (default: CPU count)",
     )
+
+    pipeline_parser = sub.add_parser(
+        "pipeline",
+        help="run extraction → fusion end-to-end on one shared executor",
+    )
+    pipeline_parser.add_argument(
+        "method",
+        nargs="?",
+        default="popaccu+",
+        choices=_FUSE_METHODS,
+        help="fusion method preset (default: popaccu+)",
+    )
+    pipeline_parser.add_argument(
+        "--backend",
+        choices=("serial", "parallel"),
+        default="serial",
+        help="execution backend for both stages (default: serial)",
+    )
+    pipeline_parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="small",
+        help="scenario preset (default: small)",
+    )
+    pipeline_parser.add_argument("--seed", type=int, default=0, help="master seed")
+    pipeline_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the parallel backend (default: CPU count)",
+    )
     return parser
 
 
 def _run_fuse(args) -> int:
+    from repro.endtoend import make_fuser
     from repro.errors import ConfigError
-    from repro.fusion import (
-        FusionConfig,
-        accu,
-        popaccu,
-        popaccu_plus,
-        popaccu_plus_unsup,
-        vote,
-    )
+    from repro.fusion import FusionConfig
 
     try:
         config = FusionConfig(
@@ -133,16 +164,7 @@ def _run_fuse(args) -> int:
         print(f"repro-kf fuse: error: {err}", file=sys.stderr)
         return 2
     scenario = build_scenario(_SCALES[args.scale](seed=args.seed))
-    if args.method == "vote":
-        fuser = vote(config)
-    elif args.method == "accu":
-        fuser = accu(config)
-    elif args.method == "popaccu":
-        fuser = popaccu(config)
-    elif args.method == "popaccu+unsup":
-        fuser = popaccu_plus_unsup(config)
-    else:
-        fuser = popaccu_plus(scenario.gold, config)
+    fuser = make_fuser(args.method, config, scenario.gold)
 
     start = time.perf_counter()
     result = fuser.fuse(scenario.fusion_input())
@@ -215,6 +237,47 @@ def _run_extract(args) -> int:
     return 0
 
 
+def _run_pipeline(args) -> int:
+    from repro.endtoend import run_end_to_end
+    from repro.errors import ConfigError
+
+    try:
+        result = run_end_to_end(
+            config=_SCALES[args.scale](seed=args.seed),
+            method=args.method,
+            backend=args.backend,
+            n_workers=args.workers,
+        )
+    except ConfigError as err:
+        print(f"repro-kf pipeline: error: {err}", file=sys.stderr)
+        return 2
+
+    timings, metrics, diagnostics = result.timings, result.metrics, result.diagnostics
+    print(f"method:        {result.fusion.method}")
+    print(f"backend:       {result.backend}")
+    print(f"backend used:  {diagnostics.get('backend_used', 'serial')}")
+    if "n_workers" in diagnostics:
+        print(f"workers:       {diagnostics['n_workers']}")
+    if "fallbacks_tiny" in diagnostics:
+        print(
+            f"fallbacks:     {diagnostics['fallbacks_tiny']} tiny, "
+            f"{diagnostics['fallbacks_unpicklable']} unpicklable"
+        )
+    print(
+        f"pages:         {diagnostics['n_pages']} "
+        f"-> records: {diagnostics['n_records']}"
+    )
+    for stage in ("setup", "extraction", "labeling", "fusion", "total"):
+        print(f"{stage + ':':<15}{timings[stage]:.3f}s")
+    print(f"rounds:        {result.fusion.rounds} (converged: {result.fusion.converged})")
+    print(f"triples:       {len(result.fusion.probabilities)}")
+    print(f"coverage:      {metrics['coverage']:.4f}")
+    print(f"deviation:     {metrics['deviation']:.4f} (weighted: {metrics['weighted_deviation']:.4f})")
+    print(f"auc-pr:        {metrics['auc_pr']:.4f}")
+    print(f"gold accuracy: {metrics['gold_accuracy']:.4f} (n={metrics['n_labelled']})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -225,6 +288,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_fuse(args)
     if args.command == "extract":
         return _run_extract(args)
+    if args.command == "pipeline":
+        return _run_pipeline(args)
     scenario = build_scenario(_SCALES[args.scale](seed=args.seed))
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     for experiment_id in ids:

@@ -37,6 +37,7 @@ __all__ = [
     "Scenario",
     "build_scenario",
     "build_extraction_pipeline",
+    "label_gold",
 ]
 
 
@@ -126,17 +127,37 @@ def build_extraction_pipeline(config: ScenarioConfig, world: World) -> Extractio
     return ExtractionPipeline(extractors)
 
 
+def label_gold(
+    freebase: KnowledgeBase, records: list[ExtractionRecord]
+) -> dict[Triple, bool]:
+    """The LCWA gold standard over the unique extracted triples.
+
+    One definition shared by :func:`build_scenario` and
+    :func:`repro.endtoend.run_end_to_end`, so the two construction paths
+    cannot drift.
+    """
+    unique = sorted({record.triple for record in records})
+    return LCWALabeler(freebase).label_many(unique)
+
+
 def build_scenario(
     config: ScenarioConfig,
     use_cache: bool = True,
     backend: str = "serial",
     n_workers: int | None = None,
+    executor=None,
 ) -> Scenario:
     """Generate (or fetch from cache) the scenario for ``config``.
 
     ``backend`` selects the extraction execution backend (``serial`` or
     ``parallel``); the records are bit-identical either way, so it is not
-    part of the cache key.
+    part of the cache key.  ``executor`` optionally supplies a
+    caller-managed executor for the extraction stage (the caller closes
+    it), for callers that share one worker pool across scenario builds or
+    with downstream fusion.  (:func:`repro.endtoend.run_end_to_end`
+    builds the stages directly — it needs per-stage timings — but shares
+    :func:`build_extraction_pipeline` and :func:`label_gold` with this
+    path.)
     """
     key = config.cache_key()
     if use_cache and key in _SCENARIO_CACHE:
@@ -147,11 +168,11 @@ def build_scenario(
     corpus = generate_corpus(world, config.web, config.seed)
 
     pipeline = build_extraction_pipeline(config, world)
-    records = pipeline.run(corpus, backend=backend, n_workers=n_workers)
+    records = pipeline.run(
+        corpus, backend=backend, n_workers=n_workers, executor=executor
+    )
 
-    labeler = LCWALabeler(freebase)
-    unique = sorted({record.triple for record in records})
-    gold = labeler.label_many(unique)
+    gold = label_gold(freebase, records)
 
     scenario = Scenario(
         config=config,

@@ -1,0 +1,217 @@
+"""The end-to-end pipeline: extraction → fusion on one shared executor.
+
+The paper's system is one pipeline — extract triples from a web corpus,
+then fuse them — and both stages here run on the same executor protocol
+(:mod:`repro.mapreduce.executors`).  :func:`run_end_to_end` wires that up
+explicitly: a single :class:`~repro.mapreduce.executors.ParallelExecutor`
+(or :class:`~repro.mapreduce.executors.SerialExecutor`) carries the
+extraction shards *and* every fusion round, so worker processes are paid
+for once per run, not once per stage.  Pool-resident state makes the
+hand-off cheap: extraction installs the 12-extractor fleet, fusion
+installs the columnar claim index; the pool restarts exactly once at the
+stage boundary and never re-ships state per shard.
+
+Output is **bit-identical to the serial path**: the record stream, gold
+labels, fused probabilities, accuracies and unpredicted set of
+``run_end_to_end(..., backend="parallel")`` equal the serial reference
+exactly (the regression suite asserts this at several worker counts and
+under both fork and spawn start methods).
+
+``repro-kf pipeline`` is the CLI face of this function; the headline
+metrics it reports (calibration deviation, AUC-PR, coverage) are the
+quantities the golden regression test freezes for the ``small`` scenario.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.datasets.scenario import (
+    Scenario,
+    ScenarioConfig,
+    build_extraction_pipeline,
+    label_gold,
+)
+from repro.errors import ConfigError
+from repro.experiments.common import metrics_for
+from repro.extract.pipeline import EXTRACT_FLEET_KEY
+from repro.fusion.base import FusionConfig, FusionResult, Fuser
+from repro.fusion.presets import accu, popaccu, popaccu_plus, popaccu_plus_unsup, vote
+from repro.kb.triples import Triple
+from repro.mapreduce.executors import Executor, ParallelExecutor, SerialExecutor
+from repro.world.facts import build_freebase_snapshot
+from repro.world.webgen import generate_corpus
+from repro.world.worldgen import generate_world
+
+__all__ = ["PIPELINE_METHODS", "EndToEndResult", "make_fuser", "run_end_to_end"]
+
+#: Fusion method presets the pipeline (and the CLI) can run.
+PIPELINE_METHODS = ("vote", "accu", "popaccu", "popaccu+unsup", "popaccu+")
+
+
+def make_fuser(
+    method: str,
+    config: FusionConfig,
+    gold_labels: dict[Triple, bool] | None = None,
+) -> Fuser:
+    """Resolve a method name from :data:`PIPELINE_METHODS` to a fuser."""
+    if method == "vote":
+        return vote(config)
+    if method == "accu":
+        return accu(config)
+    if method == "popaccu":
+        return popaccu(config)
+    if method == "popaccu+unsup":
+        return popaccu_plus_unsup(config)
+    if method == "popaccu+":
+        return popaccu_plus(gold_labels, config)
+    raise ConfigError(
+        f"unknown fusion method {method!r}; expected one of {PIPELINE_METHODS}"
+    )
+
+
+@dataclass
+class EndToEndResult:
+    """Everything one pipeline run produced.
+
+    ``timings`` holds per-stage wall-clock seconds under the keys
+    ``setup`` (world + corpus + extractor construction), ``extraction``,
+    ``labeling`` (LCWA gold), ``fusion``, and ``total``.  ``metrics``
+    holds the headline numbers against the gold standard: calibration
+    ``deviation`` / ``weighted_deviation``, ``auc_pr``, ``coverage``
+    (fraction of unique triples scored), and ``gold_accuracy`` (fraction
+    of gold-labelled predictions on the right side of p = 0.5).
+    """
+
+    scenario: Scenario
+    fusion: FusionResult
+    backend: str
+    n_workers: int | None
+    timings: dict[str, float] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+    diagnostics: dict = field(default_factory=dict)
+
+
+def headline_metrics(
+    result: FusionResult, gold: dict[Triple, bool]
+) -> dict[str, float]:
+    """The frozen-by-the-golden-test summary of one fusion run.
+
+    Delegates the calibration/PR numbers to
+    :func:`repro.experiments.common.metrics_for` — the same derivation
+    the figure experiments use — and adds the threshold accuracy.
+    """
+    metrics = metrics_for(result.probabilities, gold, coverage=result.coverage())
+    labelled = [
+        (probability, gold[triple])
+        for triple, probability in result.probabilities.items()
+        if triple in gold
+    ]
+    correct = sum(1 for probability, label in labelled if (probability >= 0.5) == label)
+    return {
+        "deviation": metrics.dev,
+        "weighted_deviation": metrics.wdev,
+        "auc_pr": metrics.auc_pr,
+        "coverage": metrics.coverage,
+        "gold_accuracy": correct / len(labelled) if labelled else 0.0,
+        "n_labelled": len(labelled),
+    }
+
+
+def run_end_to_end(
+    config: ScenarioConfig,
+    method: str = "popaccu+",
+    fusion_config: FusionConfig | None = None,
+    backend: str = "serial",
+    n_workers: int | None = None,
+    executor: Executor | None = None,
+) -> EndToEndResult:
+    """Run extraction → gold labeling → fusion on one shared executor.
+
+    ``backend`` selects ``serial`` or ``parallel`` for *both* stages; a
+    caller-managed ``executor`` overrides it (and is not closed here).
+    The fusion configuration inherits the scenario seed and the requested
+    backend unless ``fusion_config`` pins them explicitly.
+    """
+    if backend not in ("serial", "parallel"):
+        raise ConfigError(
+            f"pipeline backend must be 'serial' or 'parallel', got {backend!r}"
+        )
+    if method not in PIPELINE_METHODS:
+        # Validate up front: extraction at the larger scales is minutes of
+        # work a typo should not get to waste.
+        raise ConfigError(
+            f"unknown fusion method {method!r}; expected one of {PIPELINE_METHODS}"
+        )
+    if fusion_config is None:
+        fusion_config = FusionConfig(
+            seed=config.seed, backend=backend, n_workers=n_workers
+        )
+
+    owns_executor = executor is None
+    if executor is None:
+        executor = (
+            ParallelExecutor(max_workers=n_workers)
+            if backend == "parallel"
+            else SerialExecutor()
+        )
+
+    timings: dict[str, float] = {}
+    start_total = time.perf_counter()
+    try:
+        start = time.perf_counter()
+        world = generate_world(config.world, config.seed)
+        freebase = build_freebase_snapshot(world)
+        corpus = generate_corpus(world, config.web, config.seed)
+        pipeline = build_extraction_pipeline(config, world)
+        timings["setup"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        records = pipeline.run(corpus, backend=backend, executor=executor)
+        # The fleet was only needed for extraction; withdrawing it here
+        # keeps the stage-boundary pool restart (when fusion installs the
+        # claim columns) from re-shipping it to workers that never use it.
+        executor.uninstall_state(EXTRACT_FLEET_KEY)
+        timings["extraction"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        gold = label_gold(freebase, records)
+        timings["labeling"] = time.perf_counter() - start
+
+        scenario = Scenario(
+            config=config,
+            world=world,
+            freebase=freebase,
+            corpus=corpus,
+            pipeline=pipeline,
+            records=records,
+            gold=gold,
+        )
+
+        start = time.perf_counter()
+        fuser = make_fuser(method, fusion_config, gold)
+        fusion_result = fuser.fuse(scenario.fusion_input(), executor=executor)
+        timings["fusion"] = time.perf_counter() - start
+    finally:
+        if owns_executor:
+            executor.close()
+    timings["total"] = time.perf_counter() - start_total
+
+    diagnostics = dict(fusion_result.diagnostics)
+    diagnostics["n_records"] = len(records)
+    diagnostics["n_pages"] = len(corpus.pages)
+    if isinstance(executor, ParallelExecutor):
+        diagnostics["fallbacks_tiny"] = executor.fallbacks_tiny
+        diagnostics["fallbacks_unpicklable"] = executor.fallbacks_unpicklable
+        diagnostics["n_workers"] = executor.max_workers
+
+    return EndToEndResult(
+        scenario=scenario,
+        fusion=fusion_result,
+        backend=backend,
+        n_workers=n_workers,
+        timings=timings,
+        metrics=headline_metrics(fusion_result, gold),
+        diagnostics=diagnostics,
+    )

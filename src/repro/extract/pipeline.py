@@ -30,9 +30,13 @@ Execution backends (``ExtractionPipeline.run(backend=...)``):
   ``split_seed(seed, extractor, url)`` — and the parent re-emits each
   page's records at the page's corpus position, so the parallel record
   stream is bit-identical to the serial one.  Shard outputs cross the
-  process boundary as compact tuples
-  (:func:`~repro.extract.records.records_to_wire`), not pickled
-  dataclass lists.
+  process boundary as compact tuples (the
+  :data:`~repro.extract.records.RECORD_WIRE_CODEC` wire codec), not
+  pickled dataclass lists, and the 12-extractor fleet (entity linkers
+  included) is installed *pool-resident* via
+  :meth:`~repro.mapreduce.executors.ParallelExecutor.install_state`, so
+  it crosses the process boundary once per pool — not once per shard —
+  on both fork and spawn start methods.
 """
 
 from __future__ import annotations
@@ -45,11 +49,10 @@ from repro.extract.base import Extractor, ExtractorProfile
 from repro.extract.dom import DomExtractor
 from repro.extract.linkage import EntityLinker
 from repro.extract.records import (
+    RECORD_WIRE_CODEC,
     ErrorKind,
     ExtractionDebug,
     ExtractionRecord,
-    records_from_wire,
-    records_to_wire,
 )
 from repro.extract.table import TableExtractor
 from repro.extract.text import TextExtractor
@@ -59,6 +62,7 @@ from repro.mapreduce.executors import (
     ParallelExecutor,
     SerialExecutor,
     ShardedMapJob,
+    worker_state,
 )
 from repro.world.labels import TemplateSpec
 from repro.world.webgen import WebCorpus, WebPage
@@ -67,6 +71,9 @@ __all__ = ["build_extractor", "ExtractionPipeline", "EXTRACTION_BACKENDS"]
 
 #: Execution backends for the extraction stage (see module docstring).
 EXTRACTION_BACKENDS = ("serial", "parallel")
+
+#: Registry key the extractor fleet is installed under (pool-resident).
+EXTRACT_FLEET_KEY = "extract.fleet"
 
 
 def build_extractor(
@@ -127,31 +134,29 @@ def classify_record(record: ExtractionRecord, page: WebPage) -> ExtractionRecord
     return replace(record, debug=new)
 
 
-@dataclass(frozen=True)
-class _ExtractShard:
-    """Picklable per-shard extraction task (ships whole to each worker).
+def _extract_shard(pages: list[WebPage]) -> list[list[ExtractionRecord]]:
+    """One shard's extraction: the seed-identical page × extractor loop.
 
-    Runs the seed-identical page × extractor loop of the serial reference
-    over one shard of pages and returns one classified record list per
-    page.  Page coverage is decided by one batched
+    Runs against the pool-resident fleet (``EXTRACT_FLEET_KEY``) — the
+    shard task itself is just this function reference plus the page list,
+    so the 12 extractors (linkers included) never ride in a shard
+    payload.  Returns one classified record list per page.  Page coverage
+    is decided by one batched
     :meth:`~repro.extract.base.Extractor.coverage_mask` pass per extractor
     instead of a per-page ``covers()`` call.
     """
-
-    extractors: tuple[Extractor, ...]
-
-    def __call__(self, pages: list[WebPage]) -> list[list[ExtractionRecord]]:
-        masks = [extractor.coverage_mask(pages) for extractor in self.extractors]
-        per_page: list[list[ExtractionRecord]] = []
-        for index, page in enumerate(pages):
-            records: list[ExtractionRecord] = []
-            for extractor, mask in zip(self.extractors, masks):
-                if not mask[index]:
-                    continue
-                for record in extractor.extract_page(page):
-                    records.append(classify_record(record, page))
-            per_page.append(records)
-        return per_page
+    extractors: tuple[Extractor, ...] = worker_state(EXTRACT_FLEET_KEY)
+    masks = [extractor.coverage_mask(pages) for extractor in extractors]
+    per_page: list[list[ExtractionRecord]] = []
+    for index, page in enumerate(pages):
+        records: list[ExtractionRecord] = []
+        for extractor, mask in zip(extractors, masks):
+            if not mask[index]:
+                continue
+            for record in extractor.extract_page(page):
+                records.append(classify_record(record, page))
+        per_page.append(records)
+    return per_page
 
 
 def _page_url(page: WebPage) -> str:
@@ -207,12 +212,14 @@ class ExtractionPipeline:
                 )
             else:
                 executor = SerialExecutor()
+        # The fleet is heavyweight, invariant state: install it once per
+        # pool instead of pickling it into every shard task.
+        executor.install_state(EXTRACT_FLEET_KEY, tuple(self.extractors))
         job = ShardedMapJob(
             name="extract.pages",
-            map_shard=_ExtractShard(tuple(self.extractors)),
+            map_shard=_extract_shard,
             key_fn=_page_url,
-            encode=records_to_wire,
-            decode=records_from_wire,
+            codec=RECORD_WIRE_CODEC,
         )
         try:
             per_page = executor.run_map(corpus.pages, job)

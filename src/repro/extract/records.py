@@ -17,6 +17,7 @@ import enum
 from dataclasses import dataclass, replace
 
 from repro.kb.triples import Triple
+from repro.mapreduce.codec import WireCodec
 
 __all__ = [
     "ErrorKind",
@@ -24,6 +25,7 @@ __all__ = [
     "ExtractionRecord",
     "records_to_wire",
     "records_from_wire",
+    "RECORD_WIRE_CODEC",
 ]
 
 
@@ -103,6 +105,8 @@ class ExtractionRecord:
 # of primitives (triples via their canonical text), roughly halving the
 # per-record wire size.  The round-trip is exact: ``Triple.from_canonical``
 # inverts ``canonical()`` and value normalisation happens at construction.
+# ``RECORD_WIRE_CODEC`` (at the bottom of this module) packages the pair as
+# the shared codec-layer spelling (see repro/mapreduce/codec.py).
 
 
 def records_to_wire(records: list[ExtractionRecord]) -> list[tuple]:
@@ -163,3 +167,7 @@ def records_from_wire(wire: list[tuple]) -> list[ExtractionRecord]:
             )
         )
     return records
+
+
+#: The extraction shard codec: compact tuples on the wire, exact round-trip.
+RECORD_WIRE_CODEC = WireCodec(encode=records_to_wire, decode=records_from_wire)

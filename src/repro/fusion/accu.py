@@ -42,13 +42,19 @@ def accu_item_posteriors(
 
     ``claims`` maps each observed triple to its supporting provenances;
     ``n_false`` is the paper's ``N`` (default 100).
+
+    Floats are summed in canonical (sorted) order, never in set/dict
+    iteration order, so the result is independent of ``PYTHONHASHSEED``
+    and of how the claims dict was assembled — the bit-identity contract
+    between the serial backend and process-pool workers (including
+    ``spawn`` workers, which draw their own hash seed) rests on this.
     """
     if not claims:
         return {}
     vote_counts: dict[Triple, float] = {}
-    for triple, provs in claims.items():
+    for triple in sorted(claims):
         count = 0.0
-        for prov in provs:
+        for prov in sorted(claims[triple]):
             accuracy = _clamped(accuracies[prov])
             count += math.log(n_false * accuracy / (1.0 - accuracy))
         vote_counts[triple] = count
@@ -99,11 +105,12 @@ class Accu(Fuser):
     def name(self) -> str:
         return "ACCU"
 
-    def fuse(self, fusion_input: FusionInput) -> FusionResult:
+    def fuse(self, fusion_input: FusionInput, executor=None) -> FusionResult:
         return run_bayesian_fusion(
             fusion_input=fusion_input,
             config=self.config,
             item_posterior_fn=AccuKernel(self.config.n_false_values),
             method_name=self.name,
             gold_labels=self.gold_labels,
+            executor=executor,
         )

@@ -164,5 +164,11 @@ class Fuser(abc.ABC):
         """Method name for reports (e.g. ``POPACCU+``)."""
 
     @abc.abstractmethod
-    def fuse(self, fusion_input: FusionInput) -> FusionResult:
-        """Compute truthfulness probabilities for every unique triple."""
+    def fuse(self, fusion_input: FusionInput, executor=None) -> FusionResult:
+        """Compute truthfulness probabilities for every unique triple.
+
+        ``executor`` optionally supplies a caller-managed
+        :class:`~repro.mapreduce.executors.Executor` shared with other
+        pipeline stages (the caller closes it); implementations that run
+        purely in-process may ignore it.
+        """

@@ -70,7 +70,8 @@ class ConfidenceWeightedFuser(Fuser):
             weights[key] = max(weights.get(key, 0.0), weight)
         return weights
 
-    def fuse(self, fusion_input: FusionInput) -> FusionResult:
+    def fuse(self, fusion_input: FusionInput, executor=None) -> FusionResult:
+        # executor accepted per the Fuser contract; this fuser runs in-process.
         config = self.config
         matrix = fusion_input.claims(config.granularity)
         weights = self._normalised_weights(fusion_input)

@@ -74,7 +74,8 @@ class MultiTruthFuser(Fuser):
             for predicate, values in by_predicate.items()
         }
 
-    def fuse(self, fusion_input: FusionInput) -> FusionResult:
+    def fuse(self, fusion_input: FusionInput, executor=None) -> FusionResult:
+        # executor accepted per the Fuser contract; this fuser runs in-process.
         config = self.config
         functionality = self.learned_functionality(fusion_input)
         matrix = fusion_input.claims(config.granularity)

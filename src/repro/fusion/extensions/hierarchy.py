@@ -117,7 +117,8 @@ class HierarchicalFuser(Fuser):
         return posteriors
 
     # ------------------------------------------------------------------
-    def fuse(self, fusion_input: FusionInput) -> FusionResult:
+    def fuse(self, fusion_input: FusionInput, executor=None) -> FusionResult:
+        # executor accepted per the Fuser contract; this fuser runs in-process.
         config = self.config
         matrix = fusion_input.claims(config.granularity)
         accuracies = {

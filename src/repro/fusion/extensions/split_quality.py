@@ -69,7 +69,8 @@ class SplitQualityFuser(Fuser):
     def name(self) -> str:
         return "SPLITQ"
 
-    def fuse(self, fusion_input: FusionInput) -> FusionResult:
+    def fuse(self, fusion_input: FusionInput, executor=None) -> FusionResult:
+        # executor accepted per the Fuser contract; this fuser runs in-process.
         config = self.config
         # Claims: (item, triple, extractor, site), deduplicated.
         claims: set[tuple[DataItem, Triple, str, str]] = set()

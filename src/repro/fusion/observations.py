@@ -98,6 +98,7 @@ class ColumnarClaims:
     row_ptr: np.ndarray  # row r claims: [row_ptr[r], row_ptr[r+1])
     prov_rows: np.ndarray  # concatenated row ids per provenance
     prov_ptr: np.ndarray  # prov p rows: [prov_ptr[p], prov_ptr[p+1])
+    _canonical_rank: np.ndarray | None = field(default=None, repr=False)
 
     @property
     def n_items(self) -> int:
@@ -121,6 +122,29 @@ class ColumnarClaims:
     def prov_row_counts(self) -> np.ndarray:
         """Unique supported triples per provenance (Stage-II input sizes)."""
         return np.diff(self.prov_ptr)
+
+    def canonical_rank(self) -> np.ndarray:
+        """Rank of each row in the *global* canonical-triple ordering.
+
+        Rows are laid out item-major (items sorted field-wise, triples
+        sorted within each item), which is *not* the same as sorting all
+        triples by canonical string — ``("a", "x") < ("ab", "y")`` as
+        tuples but ``"a|x" > "ab|y"`` as strings, because ``"|"`` sorts
+        after every alphanumeric.  Reducers that must sum floats in
+        ``sorted(triples)`` order (the Stage-II mean, for bit-identity
+        with the serial backend) therefore order rows by this rank, built
+        once and cached — pool-resident state carries it to workers.
+        """
+        if self._canonical_rank is None:
+            order = sorted(
+                range(len(self.triples)), key=lambda r: self.triples[r].canonical()
+            )
+            rank = np.empty(len(order), dtype=np.int64)
+            rank[np.asarray(order, dtype=np.int64)] = np.arange(
+                len(order), dtype=np.int64
+            )
+            self._canonical_rank = rank
+        return self._canonical_rank
 
     @staticmethod
     def from_items(

@@ -44,7 +44,13 @@ def popaccu_item_posteriors(
     claims: dict[Triple, set[ProvKey]],
     accuracies: dict[ProvKey, float],
 ) -> dict[Triple, float]:
-    """Posterior probability of each observed value of one data item."""
+    """Posterior probability of each observed value of one data item.
+
+    Floats are summed in canonical (sorted) order, never in set iteration
+    order, so the result is independent of ``PYTHONHASHSEED`` — see
+    :func:`repro.fusion.accu.accu_item_posteriors` for why the
+    serial/parallel bit-identity contract needs this.
+    """
     if not claims:
         return {}
     triples = sorted(claims)
@@ -55,7 +61,7 @@ def popaccu_item_posteriors(
     for triple in triples:
         lt = 0.0
         lf = 0.0
-        for prov in claims[triple]:
+        for prov in sorted(claims[triple]):
             accuracy = _clamped(accuracies[prov])
             lt += math.log(accuracy)
             lf += math.log(1.0 - accuracy)
@@ -120,11 +126,12 @@ class PopAccu(Fuser):
     def name(self) -> str:
         return "POPACCU"
 
-    def fuse(self, fusion_input: FusionInput) -> FusionResult:
+    def fuse(self, fusion_input: FusionInput, executor=None) -> FusionResult:
         return run_bayesian_fusion(
             fusion_input=fusion_input,
             config=self.config,
             item_posterior_fn=PopAccuKernel(),
             method_name=self.name,
             gold_labels=self.gold_labels,
+            executor=executor,
         )

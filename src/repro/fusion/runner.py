@@ -25,22 +25,32 @@ Execution backends (``FusionConfig.backend``):
 
 - ``serial`` — the reference path: scalar per-item posteriors through the
   in-process MapReduce engine;
-- ``parallel`` — the same scalar reducers (which are picklable
-  module-level callables exactly for this), sharded over a process pool by
-  :class:`~repro.mapreduce.executors.ParallelExecutor`; bit-identical to
-  ``serial``;
+- ``parallel`` — the *columnar shuffle* (:mod:`repro.fusion.shuffle`):
+  the claim columns are installed pool-resident once per pool, each round
+  dispatches both stages as :class:`~repro.mapreduce.executors.ShardedMapJob`
+  map-only jobs over integer item/provenance ids (round state crosses as
+  contiguous float64/bool buffers — no ``Claim``/``Triple`` objects in
+  shard payloads), and workers run the identical scalar kernels —
+  bit-identical to ``serial`` on fork *and* spawn, at any worker count.
+  Falls back to the in-process serial reference when reducer-input
+  sampling would engage (the sampled subsets are defined by the scalar
+  dataflow's value order, exactly as for ``vectorized``);
 - ``vectorized`` — both stages batched as numpy array operations over the
   cached columnar claim index (:mod:`repro.fusion.kernels`), skipping the
   per-item Python loop entirely.  Requires ``item_posterior_fn`` to carry
   a ``batch_round`` method (the built-in kernels do) and reverts to
-  ``serial`` when reducer-input sampling would engage, because the sampled
-  subsets are defined in terms of the scalar dataflow.
+  ``serial`` when reducer-input sampling would engage.
 
 ``result.diagnostics["backend"]`` records what was requested and
 ``["backend_used"]`` what actually ran; ``parallel`` runs also report the
 executor's ``fallbacks_tiny`` / ``fallbacks_unpicklable`` counters (jobs
-that reduced in-process because dispatch could not pay off, or because the
-reducer would not pickle).
+that ran in-process because dispatch could not pay off, or because the
+posterior kernel would not pickle).
+
+A caller-managed executor can be threaded through ``run_bayesian_fusion``
+(and ``Fuser.fuse``) so extraction and fusion share one worker pool — the
+``repro-kf pipeline`` subcommand / :func:`repro.endtoend.run_end_to_end`
+do exactly that.  Caller-managed executors are not closed here.
 """
 
 from __future__ import annotations
@@ -50,7 +60,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.fusion import kernels
+from repro.fusion import kernels, shuffle
 from repro.fusion.base import FusionConfig, FusionResult
 from repro.fusion.observations import ColumnarClaims, FusionInput, ProvKey
 from repro.kb.triples import Triple
@@ -114,13 +124,18 @@ class Stage1Reducer:
 
 
 def _stage2_reducer(prov, values):
-    """Mean posterior of a provenance's (deduplicated) scored triples."""
+    """Mean posterior of a provenance's (deduplicated) scored triples.
+
+    Summed in canonical triple order (not insertion order) so the result
+    is hash-seed independent and matches the columnar shard workers
+    bit-for-bit.
+    """
     seen: dict[Triple, float] = {}
     for triple, probability in values:
         seen[triple] = probability
     if not seen:
         return []
-    return [(prov, sum(seen.values()) / len(seen))]
+    return [(prov, sum(seen[t] for t in sorted(seen)) / len(seen))]
 
 
 def _stage1(
@@ -213,12 +228,16 @@ def run_bayesian_fusion(
     gold_labels: dict[Triple, bool] | None = None,
     track_rounds: bool = False,
     backend: str | None = None,
+    executor: Executor | None = None,
 ) -> FusionResult:
     """Run the full iterative pipeline and return a :class:`FusionResult`.
 
     ``track_rounds=True`` stores the per-round probability snapshots in
     ``result.diagnostics["round_probabilities"]`` (used by the Figure 14
     experiment).  ``backend`` overrides ``config.backend`` for this run.
+    ``executor`` supplies a caller-managed executor — shared with other
+    pipeline stages and *not* closed here (the caller closes it); only
+    the ``serial`` and ``parallel`` backends consult it.
     """
     requested = backend if backend is not None else config.backend
     matrix = fusion_input.claims(config.granularity)
@@ -250,6 +269,33 @@ def run_bayesian_fusion(
             requested,
             backend_used="serial (vectorized fallback)",
         )
+    if requested == "parallel":
+        cols = matrix.columnar()
+        if sampling_would_engage(cols, config):
+            # The sampled reducer inputs are defined by the scalar
+            # dataflow's value order, which the columnar shuffle does not
+            # reproduce; the serial reference is the defined behaviour.
+            return _run_mapreduce(
+                matrix,
+                config,
+                item_posterior_fn,
+                method_name,
+                gold_labels,
+                track_rounds,
+                requested,
+                backend_used="serial (parallel fallback)",
+            )
+        return _run_parallel_columnar(
+            matrix,
+            cols,
+            config,
+            item_posterior_fn,
+            method_name,
+            gold_labels,
+            track_rounds,
+            requested,
+            executor=executor,
+        )
     return _run_mapreduce(
         matrix,
         config,
@@ -259,6 +305,7 @@ def run_bayesian_fusion(
         track_rounds,
         requested,
         backend_used=requested,
+        executor=executor,
     )
 
 
@@ -271,9 +318,12 @@ def _run_mapreduce(
     track_rounds: bool,
     requested: str,
     backend_used: str,
+    executor: Executor | None = None,
 ) -> FusionResult:
-    """The scalar engine path (serial or process-pool parallel)."""
-    executor = make_executor(config, backend_used)
+    """The scalar engine path (the serial reference)."""
+    owns_executor = executor is None
+    if executor is None:
+        executor = make_executor(config, backend_used)
     engine = MapReduceEngine(executor)
     default = config.default_accuracy
 
@@ -337,29 +387,18 @@ def _run_mapreduce(
             else {}
         )
     finally:
-        engine.executor.close()
+        if owns_executor:
+            engine.executor.close()
 
-    # Stage III: dedup by triple, applying the fallbacks for filtered items.
-    probabilities: dict[Triple, float] = {}
-    unpredicted: set[Triple] = set()
-    for item, triple_map in matrix.items.items():
-        for triple, provs in triple_map.items():
-            if triple in posteriors:
-                probabilities[triple] = posteriors[triple]
-            elif config.min_accuracy is not None:
-                # θ-filter fallback: mean accuracy of the triple's own
-                # provenances (which may all be below θ).
-                probabilities[triple] = sum(accuracies[p] for p in provs) / len(provs)
-            else:
-                unpredicted.add(triple)
-
-    result = FusionResult(
-        method=method_name,
-        probabilities=probabilities,
-        unpredicted=unpredicted,
+    return _finalize_scalar_result(
+        matrix=matrix,
+        posteriors=posteriors,
         accuracies=accuracies,
-        rounds=rounds_run,
+        config=config,
+        method_name=method_name,
+        rounds_run=rounds_run,
         converged=converged,
+        round_probabilities=round_probabilities if track_rounds else None,
         diagnostics={
             "n_items": len(matrix.items),
             "n_provenances": len(all_provs),
@@ -371,10 +410,181 @@ def _run_mapreduce(
             **fallback_diagnostics,
         },
     )
-    if track_rounds:
+
+
+def _finalize_scalar_result(
+    matrix,
+    posteriors: dict[Triple, float],
+    accuracies: dict[ProvKey, float],
+    config: FusionConfig,
+    method_name: str,
+    rounds_run: int,
+    converged: bool,
+    round_probabilities: list[dict[Triple, float]] | None,
+    diagnostics: dict,
+) -> FusionResult:
+    """Stage III + result assembly, shared by the serial and columnar paths.
+
+    Dedup by triple, applying the fallbacks for filtered items: scored
+    triples keep their posterior; under the θ-filter an unscored triple
+    falls back to the mean accuracy of its own provenances (summed in
+    canonical order for hash-seed independence); otherwise it is
+    *unpredicted*.
+    """
+    probabilities: dict[Triple, float] = {}
+    unpredicted: set[Triple] = set()
+    for item, triple_map in matrix.items.items():
+        for triple, provs in triple_map.items():
+            if triple in posteriors:
+                probabilities[triple] = posteriors[triple]
+            elif config.min_accuracy is not None:
+                probabilities[triple] = sum(
+                    accuracies[p] for p in sorted(provs)
+                ) / len(provs)
+            else:
+                unpredicted.add(triple)
+
+    result = FusionResult(
+        method=method_name,
+        probabilities=probabilities,
+        unpredicted=unpredicted,
+        accuracies=accuracies,
+        rounds=rounds_run,
+        converged=converged,
+        diagnostics=diagnostics,
+    )
+    if round_probabilities is not None:
         result.diagnostics["round_probabilities"] = round_probabilities
     result.validate()
     return result
+
+
+def _run_parallel_columnar(
+    matrix,
+    cols: ColumnarClaims,
+    config: FusionConfig,
+    item_posterior_fn: ItemPosteriorFn,
+    method_name: str,
+    gold_labels: dict[Triple, bool] | None,
+    track_rounds: bool,
+    requested: str,
+    executor: Executor | None = None,
+) -> FusionResult:
+    """The columnar-shuffle path (see :mod:`repro.fusion.shuffle`).
+
+    Accuracy state lives in a float64 array indexed by provenance id and
+    crosses the process boundary as a contiguous buffer once per job; the
+    claim columns are pool-resident.  Workers run the scalar posterior
+    kernels over claims dicts rebuilt from the columns, so every float
+    operation matches the serial reference bit-for-bit — on fork and
+    spawn pools alike, because the kernels sum in canonical order.
+    """
+    owns_executor = executor is None
+    if executor is None:
+        executor = make_executor(config, "parallel")
+    shuffle.install_fusion_columns(executor, cols)
+
+    n_provs = len(cols.provenances)
+    accuracies = np.full(n_provs, config.default_accuracy, dtype=np.float64)
+    evaluated = np.zeros(n_provs, dtype=bool)
+
+    gold_initialized = 0
+    if gold_labels:
+        sampled = _gold_subsample(gold_labels, config.gold_sample_rate, config.seed)
+        for p in range(n_provs):
+            rows = cols.prov_rows[cols.prov_ptr[p] : cols.prov_ptr[p + 1]]
+            labels = [
+                sampled[cols.triples[r]] for r in rows if cols.triples[r] in sampled
+            ]
+            if labels:
+                accuracies[p] = sum(labels) / len(labels)
+                evaluated[p] = True
+                gold_initialized += 1
+
+    def active_mask(round_index: int) -> np.ndarray:
+        active = np.ones(n_provs, dtype=bool)
+        if config.filter_by_coverage and round_index > 0:
+            active &= evaluated
+        if config.min_accuracy is not None:
+            active &= accuracies >= config.min_accuracy
+        return active
+
+    posteriors: dict[Triple, float] = {}
+    round_probabilities: list[dict[Triple, float]] = []
+    rounds_run = 0
+    converged = False
+    try:
+        for round_index in range(config.max_rounds):
+            active = active_mask(round_index)
+            require_repeated = config.filter_by_coverage and round_index == 0
+            per_item = executor.run_map(
+                range(cols.n_items),
+                shuffle.stage1_job(
+                    "fusion.stage1",
+                    cols,
+                    item_posterior_fn,
+                    accuracies,
+                    active,
+                    require_repeated,
+                ),
+            )
+            posteriors, posteriors_arr, scored = shuffle.merge_stage1_outputs(
+                cols, per_item
+            )
+            new_accuracies = executor.run_map(
+                range(n_provs),
+                shuffle.stage2_job(
+                    "fusion.stage2", cols, posteriors_arr, scored, active
+                ),
+            )
+            delta = 0.0
+            for p, accuracy in enumerate(new_accuracies):
+                if accuracy is None:
+                    continue
+                delta = max(delta, abs(accuracy - accuracies[p]))
+                accuracies[p] = accuracy
+                evaluated[p] = True
+            rounds_run = round_index + 1
+            if track_rounds:
+                round_probabilities.append(dict(posteriors))
+            if delta < config.convergence_tol:
+                converged = True
+                break
+        fallback_diagnostics = (
+            {
+                "fallbacks_tiny": executor.fallbacks_tiny,
+                "fallbacks_unpicklable": executor.fallbacks_unpicklable,
+            }
+            if isinstance(executor, ParallelExecutor)
+            else {}
+        )
+    finally:
+        if owns_executor:
+            executor.close()
+
+    accuracies_out = {
+        prov: float(accuracies[p]) for p, prov in enumerate(cols.provenances)
+    }
+    return _finalize_scalar_result(
+        matrix=matrix,
+        posteriors=posteriors,
+        accuracies=accuracies_out,
+        config=config,
+        method_name=method_name,
+        rounds_run=rounds_run,
+        converged=converged,
+        round_probabilities=round_probabilities if track_rounds else None,
+        diagnostics={
+            "n_items": cols.n_items,
+            "n_provenances": n_provs,
+            "n_claims": cols.n_claims,
+            "gold_initialized": gold_initialized,
+            "n_active_final": int(active_mask(rounds_run).sum()),
+            "backend": requested,
+            "backend_used": "parallel",
+            **fallback_diagnostics,
+        },
+    )
 
 
 def _run_vectorized(

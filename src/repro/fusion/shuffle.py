@@ -1,0 +1,224 @@
+"""Columnar shuffle: fusion's shards as int ids over pool-resident columns.
+
+The paper runs every fusion stage as sharded MapReduce over compact
+key-partitioned records.  The first parallel backend here approximated
+that by pickling each shard's grouped ``(Triple, ProvKey)`` value lists
+into the workers — byte-for-byte the *heaviest* possible wire format, and
+the overhead ROADMAP called out as the blocker to real multi-core wins.
+
+This module replaces that object shuffle.  The claim matrix already has a
+canonical columnar form (:class:`~repro.fusion.observations.ColumnarClaims`
+— int-coded CSR over sorted items/triples/provenances), so:
+
+- the **columns themselves** (triples, provenances, pointer arrays, the
+  canonical row ranking) are installed *pool-resident* once per pool via
+  :meth:`~repro.mapreduce.executors.ParallelExecutor.install_state`
+  (:func:`install_fusion_columns`), on fork and spawn alike;
+- each **shard task payload** is a list of integer item/provenance ids
+  plus, inside the per-job spec, the round's accuracy/posterior state as
+  contiguous float64/bool numpy buffers — no ``Claim``, ``Triple``,
+  ``DataItem`` or ``ExtractionRecord`` ever rides in a shard payload
+  (the test suite audits this with
+  :func:`~repro.mapreduce.codec.scan_payload_types`);
+- both stages run on the executors' shared map-only protocol
+  (:class:`~repro.mapreduce.executors.ShardedMapJob` / ``run_map``), the
+  same codec layer extraction shards use.
+
+**Bit-identity.**  Workers rebuild each data item's
+``dict[Triple, set[ProvKey]]`` from the resident columns and call the
+*scalar* posterior kernel — the identical float operations the serial
+backend performs, in the identical order, because the scalar kernels sum
+in canonical (sorted) order rather than set-iteration order.  That makes
+serial, fork-parallel and spawn-parallel output bit-identical at any
+worker count, independent of ``PYTHONHASHSEED``.
+
+The one scalar behaviour the columnar shuffle cannot reproduce is
+reducer-input *sampling* (the paper's ``L``): the sampled subsets are
+defined in terms of the scalar dataflow's value order.  When sampling
+would engage, the runner falls back to the in-process serial reference —
+exactly as the vectorized backend does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.fusion.observations import ColumnarClaims, ProvKey
+from repro.kb.triples import Triple
+from repro.mapreduce.executors import Executor, ShardedMapJob, worker_state
+
+__all__ = [
+    "FUSION_COLUMNS_KEY",
+    "install_fusion_columns",
+    "Stage1ColumnarShard",
+    "Stage2ColumnarShard",
+    "stage1_job",
+    "stage2_job",
+    "merge_stage1_outputs",
+]
+
+#: Registry key the fusion columns are installed under (see
+#: :func:`repro.mapreduce.executors.worker_state`).
+FUSION_COLUMNS_KEY = "fusion.columns"
+
+
+def install_fusion_columns(executor: Executor, cols: ColumnarClaims) -> None:
+    """Make ``cols`` pool-resident for the stage shards.
+
+    The canonical row ranking is materialised first so workers receive it
+    prebuilt instead of each re-sorting the triple column.  Crosses the
+    process boundary once per pool; in-process executors just register the
+    object.
+    """
+    cols.canonical_rank()
+    executor.install_state(FUSION_COLUMNS_KEY, cols)
+
+
+@dataclass(frozen=True)
+class Stage1ColumnarShard:
+    """One Stage-I dispatch: score a shard of data items.
+
+    Pickled once per job; carries only the round state — the accuracy
+    vector and active mask as contiguous numpy buffers — plus the
+    picklable posterior kernel.  Shard items are integer item ids into
+    the pool-resident columns.
+
+    Each item's output is a list of ``(row_id, posterior)`` pairs (empty
+    when the item is filtered), satisfying the one-output-per-item
+    ``run_map`` contract.
+    """
+
+    posterior_fn: Callable
+    accuracies: np.ndarray  # float64 per provenance id
+    active: np.ndarray  # bool per provenance id
+    require_repeated: bool
+
+    def __call__(self, item_ids: list[int]) -> list[list[tuple[int, float]]]:
+        cols: ColumnarClaims = worker_state(FUSION_COLUMNS_KEY)
+        provenances = cols.provenances
+        triples = cols.triples
+        item_ptr, row_ptr = cols.item_ptr, cols.row_ptr
+        claim_prov, active = cols.claim_prov, self.active
+        # Same float64 values the serial reducer sees in its dict.
+        accuracy_of: dict[ProvKey, float] = dict(
+            zip(provenances, self.accuracies.tolist())
+        )
+        outputs: list[list[tuple[int, float]]] = []
+        for j in item_ids:
+            claims: dict[Triple, set[ProvKey]] = {}
+            kept_rows: list[int] = []
+            repeated = False
+            for r in range(item_ptr[j], item_ptr[j + 1]):
+                provs = {
+                    provenances[p]
+                    for p in claim_prov[row_ptr[r] : row_ptr[r + 1]]
+                    if active[p]
+                }
+                if provs:
+                    claims[triples[r]] = provs
+                    kept_rows.append(int(r))
+                    repeated = repeated or len(provs) >= 2
+            if not claims or (self.require_repeated and not repeated):
+                outputs.append([])
+                continue
+            posteriors = self.posterior_fn(claims, accuracy_of)
+            outputs.append([(r, posteriors[triples[r]]) for r in kept_rows])
+        return outputs
+
+
+@dataclass(frozen=True)
+class Stage2ColumnarShard:
+    """One Stage-II dispatch: re-estimate a shard of provenance accuracies.
+
+    Shard items are integer provenance ids; the round's posteriors and
+    scored mask cross once per job as contiguous buffers.  Output per
+    provenance is its new accuracy (mean posterior of its scored triples,
+    summed in canonical triple order — bit-identical to the serial
+    Stage-II reducer) or None when the provenance is inactive or scored
+    nothing this round, mirroring the keys the serial reducer emits.
+    """
+
+    posteriors: np.ndarray  # float64 per row (meaningful where scored)
+    scored: np.ndarray  # bool per row
+    active: np.ndarray  # bool per provenance id
+
+    def __call__(self, prov_ids: list[int]) -> list[float | None]:
+        cols: ColumnarClaims = worker_state(FUSION_COLUMNS_KEY)
+        rank = cols.canonical_rank()
+        outputs: list[float | None] = []
+        for p in prov_ids:
+            if not self.active[p]:
+                outputs.append(None)
+                continue
+            rows = cols.prov_rows[cols.prov_ptr[p] : cols.prov_ptr[p + 1]]
+            rows = rows[self.scored[rows]]
+            if rows.size == 0:
+                outputs.append(None)
+                continue
+            ordered = rows[np.argsort(rank[rows], kind="stable")]
+            total = 0.0
+            for value in self.posteriors[ordered].tolist():
+                total += value
+            outputs.append(total / int(rows.size))
+        return outputs
+
+
+def stage1_job(
+    name: str,
+    cols: ColumnarClaims,
+    posterior_fn: Callable,
+    accuracies: np.ndarray,
+    active: np.ndarray,
+    require_repeated: bool,
+) -> ShardedMapJob:
+    """The Stage-I round as a map-only job over item ids.
+
+    ``key_fn`` resolves the item's canonical key in the parent (it never
+    pickles), so shard assignment matches the stable crc32 partitioning
+    every other sharded stage uses.
+    """
+    return ShardedMapJob(
+        name=name,
+        map_shard=Stage1ColumnarShard(
+            posterior_fn=posterior_fn,
+            accuracies=np.array(accuracies, dtype=np.float64),
+            active=np.array(active, dtype=bool),
+            require_repeated=require_repeated,
+        ),
+        key_fn=lambda j: cols.items[j].canonical(),
+    )
+
+
+def stage2_job(
+    name: str,
+    cols: ColumnarClaims,
+    posteriors: np.ndarray,
+    scored: np.ndarray,
+    active: np.ndarray,
+) -> ShardedMapJob:
+    """The Stage-II round as a map-only job over provenance ids."""
+    return ShardedMapJob(
+        name=name,
+        map_shard=Stage2ColumnarShard(
+            posteriors=posteriors, scored=scored, active=np.array(active, dtype=bool)
+        ),
+        key_fn=lambda p: cols.provenances[p],
+    )
+
+
+def merge_stage1_outputs(
+    cols: ColumnarClaims, per_item: list[list[tuple[int, float]]]
+) -> tuple[dict[Triple, float], np.ndarray, np.ndarray]:
+    """Collect shard outputs into the posterior dict + row arrays."""
+    posteriors_arr = np.zeros(cols.n_rows, dtype=np.float64)
+    scored = np.zeros(cols.n_rows, dtype=bool)
+    posteriors: dict[Triple, float] = {}
+    for pairs in per_item:
+        for r, value in pairs:
+            posteriors_arr[r] = value
+            scored[r] = True
+            posteriors[cols.triples[r]] = value
+    return posteriors, posteriors_arr, scored

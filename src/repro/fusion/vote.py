@@ -8,15 +8,19 @@ the MapReduce engine, so VOTE exercises the same dataflow as the Bayesian
 methods).
 
 Backends: ``serial`` runs the scalar reducers in-process; ``parallel``
-shards them across a process pool (the reducers are module-level functions
-precisely so they pickle); ``vectorized`` computes all ``m/n`` ratios in
-one numpy pass over the columnar claim index, falling back to ``serial``
-when reducer-input sampling would engage.
+runs Stage I through the columnar shuffle (:mod:`repro.fusion.shuffle`) —
+pool-resident claim columns, integer-id shard payloads, bit-identical to
+serial on fork and spawn; ``vectorized`` computes all ``m/n`` ratios in
+one numpy pass over the columnar claim index.  Both the parallel and
+vectorized paths fall back to ``serial`` when reducer-input sampling
+would engage (the sampled subsets are defined by the scalar dataflow).
 """
 
 from __future__ import annotations
 
-from repro.fusion import kernels
+import numpy as np
+
+from repro.fusion import kernels, shuffle
 from repro.fusion.base import Fuser, FusionResult
 from repro.fusion.observations import ColumnarClaims, FusionInput, ProvKey
 from repro.fusion.runner import (
@@ -27,6 +31,7 @@ from repro.fusion.runner import (
 )
 from repro.kb.triples import Triple
 from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
+from repro.mapreduce.executors import ParallelExecutor
 
 __all__ = ["vote_item_posteriors", "VoteKernel", "Vote"]
 
@@ -77,7 +82,7 @@ class Vote(Fuser):
     def name(self) -> str:
         return "VOTE"
 
-    def fuse(self, fusion_input: FusionInput) -> FusionResult:
+    def fuse(self, fusion_input: FusionInput, executor=None) -> FusionResult:
         matrix = fusion_input.claims(self.config.granularity)
         backend_used = self.config.backend
         if self.config.backend == "vectorized":
@@ -85,6 +90,11 @@ class Vote(Fuser):
             if not sampling_would_engage(cols, self.config, include_stage2=False):
                 return self._fuse_vectorized(cols)
             backend_used = "serial (vectorized fallback)"
+        elif self.config.backend == "parallel":
+            cols = matrix.columnar()
+            if not sampling_would_engage(cols, self.config, include_stage2=False):
+                return self._fuse_columnar(cols, executor)
+            backend_used = "serial (parallel fallback)"
         return self._fuse_mapreduce(matrix, backend_used)
 
     def _fuse_vectorized(self, cols: ColumnarClaims) -> FusionResult:
@@ -98,6 +108,56 @@ class Vote(Fuser):
             rounds=0,
             converged=True,
             diagnostics={"backend": "vectorized", "backend_used": "vectorized"},
+        )
+        result.validate()
+        return result
+
+    def _fuse_columnar(self, cols: ColumnarClaims, executor=None) -> FusionResult:
+        """Stage I through the columnar shuffle (bit-identical to serial).
+
+        Rows are already unique triples, so the serial path's Stage-III
+        dedup is structurally a no-op here: the per-row ``m/n`` ratios are
+        the final probabilities.
+        """
+        owns_executor = executor is None
+        if executor is None:
+            executor = make_executor(self.config, "parallel")
+        shuffle.install_fusion_columns(executor, cols)
+        n_provs = len(cols.provenances)
+        try:
+            per_item = executor.run_map(
+                range(cols.n_items),
+                shuffle.stage1_job(
+                    "vote.stage1",
+                    cols,
+                    VoteKernel(),
+                    np.zeros(n_provs, dtype=np.float64),
+                    np.ones(n_provs, dtype=bool),
+                    require_repeated=False,
+                ),
+            )
+            fallback_diagnostics = (
+                {
+                    "fallbacks_tiny": executor.fallbacks_tiny,
+                    "fallbacks_unpicklable": executor.fallbacks_unpicklable,
+                }
+                if isinstance(executor, ParallelExecutor)
+                else {}
+            )
+        finally:
+            if owns_executor:
+                executor.close()
+        probabilities, _arr, _scored = shuffle.merge_stage1_outputs(cols, per_item)
+        result = FusionResult(
+            method=self.name,
+            probabilities={t: float(p) for t, p in probabilities.items()},
+            rounds=0,
+            converged=True,
+            diagnostics={
+                "backend": self.config.backend,
+                "backend_used": "parallel",
+                **fallback_diagnostics,
+            },
         )
         result.validate()
         return result

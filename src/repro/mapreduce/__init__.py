@@ -14,12 +14,14 @@ output.  Executors also run map-only jobs
 outputs in input order) — the protocol the extraction stage scales on.
 """
 
+from repro.mapreduce.codec import WireCodec
 from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
 from repro.mapreduce.executors import (
     Executor,
     ParallelExecutor,
     SerialExecutor,
     ShardedMapJob,
+    worker_state,
 )
 from repro.mapreduce.job import IterativeJob, run_iterative
 
@@ -30,6 +32,8 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "ShardedMapJob",
+    "WireCodec",
+    "worker_state",
     "IterativeJob",
     "run_iterative",
 ]

@@ -15,12 +15,14 @@ runs is an :class:`Executor` policy:
   sampling, which depends only on ``(seed, job name, key)`` — is
   bit-identical to the serial backend.
 
-Bit-identity additionally requires workers to share the parent's hash
-randomization: reducers that iterate sets (the fusion stages do) sum
-floats in set order, which depends on ``PYTHONHASHSEED``.  The pool
-therefore uses the ``fork`` start method where available (workers inherit
-the parent's hash seed); on spawn-only platforms each worker draws a fresh
-hash seed and parallel results may differ from serial in the last ulp.
+Bit-identity across start methods requires reducers whose float summation
+order does not depend on hash randomization: a reducer that sums a set in
+iteration order gives ``PYTHONHASHSEED``-dependent last-ulp results, and a
+``spawn`` worker draws its own hash seed.  The fusion reducers therefore
+sum in canonical (sorted) order, which makes serial, ``fork``-parallel and
+``spawn``-parallel output bit-identical; pools default to ``fork`` where
+available (cheapest state inheritance) and accept an explicit
+``start_method`` otherwise.
 
 Reducers shipped to workers must be picklable (module-level functions or
 dataclasses; the fusion stages satisfy this).  When a reducer cannot be
@@ -35,7 +37,20 @@ Besides the keyed map-reduce contract, executors also run *map-only* jobs
 sharded by the same stable key hash, with outputs re-emitted in the input
 order.  This is the protocol the extraction stage runs on — each shard of
 pages is extracted in a worker and the parent reassembles the corpus-order
-record stream, bit-identical to the serial loop.
+record stream, bit-identical to the serial loop — and, since the columnar
+shuffle, the fusion stages as well (items are integer item/provenance ids
+into pool-resident columns; see :mod:`repro.fusion.shuffle`).
+
+**Pool-resident worker state.**  Heavyweight invariant objects (the
+extraction stage's 12-extractor fleet, fusion's columnar claim index) are
+*installed* on an executor via :meth:`install_state` and cross the process
+boundary exactly once per pool — through the pool initializer, on both
+``fork`` and ``spawn`` — instead of once per shard task.  Shard callables
+fetch them back with :func:`worker_state`, which also resolves in-process
+(serial execution and fallback paths) because installs mirror into the
+parent's registry.  Installing new state after the pool has started
+restarts the pool (once per pipeline stage, not per job); see
+``mapreduce/README.md`` for the full protocol.
 """
 
 from __future__ import annotations
@@ -50,6 +65,7 @@ from typing import Any, Callable, Iterable, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.mapreduce.codec import WireCodec
 from repro.rng import split_seed
 
 __all__ = [
@@ -60,7 +76,57 @@ __all__ = [
     "shard_for_key",
     "map_serial",
     "reduce_serial",
+    "worker_state",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Pool-resident worker state
+# ---------------------------------------------------------------------------
+# One process-wide registry.  In a worker it is filled exactly once, by the
+# pool initializer; in the parent it mirrors whatever the executors running
+# in this process have installed, so the same shard callables work on the
+# serial path and on the parallel fallback paths.  Keys are namespaced by
+# producer ("extract.fleet", "fusion.columns"); later installs win.
+
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def _init_worker_state(blobs: dict[str, bytes]) -> None:
+    """Pool initializer: unpickle each installed state once per worker."""
+    for key, blob in blobs.items():
+        _WORKER_STATE[key] = pickle.loads(blob)
+
+
+def worker_state(key: str) -> Any:
+    """Fetch pool-resident state installed under ``key``.
+
+    Works in workers (filled by the pool initializer) and in the parent
+    (filled directly by :meth:`SerialExecutor.install_state` /
+    :meth:`ParallelExecutor.install_state`), so shard callables are
+    agnostic to where they run.
+    """
+    try:
+        return _WORKER_STATE[key]
+    except KeyError:
+        raise RuntimeError(
+            f"no pool-resident state installed under {key!r}; call "
+            "executor.install_state(key, value) before running the job"
+        ) from None
+
+
+def _release_parent_state(installed: dict[str, Any], key: str) -> None:
+    """Remove one executor's parent-side registry entry for ``key``.
+
+    Guarded by identity: if another executor has since installed its own
+    value under the same key (later installs win), that live value is
+    left untouched — only our own is withdrawn.
+    """
+    if key not in installed:
+        return
+    value = installed.pop(key)
+    if key in _WORKER_STATE and _WORKER_STATE[key] is value:
+        del _WORKER_STATE[key]
 
 
 def map_and_shuffle(records: Iterable[Any], mapper: Callable) -> dict[Any, list]:
@@ -137,7 +203,10 @@ class ShardedMapJob:
     for the parallel backend; ``encode`` compacts each output in the
     worker before it crosses the process boundary and ``decode`` restores
     it in the parent — the extraction stage uses this to ship records as
-    compact tuples instead of full pickled dataclass lists.
+    compact tuples instead of full pickled dataclass lists.  A
+    :class:`~repro.mapreduce.codec.WireCodec` can be passed as ``codec``
+    instead of the two callables (the shared codec-layer spelling); the
+    two forms are mutually exclusive.
     """
 
     name: str
@@ -145,6 +214,17 @@ class ShardedMapJob:
     key_fn: Callable[[Any], Any]
     encode: Callable[[Any], Any] | None = None
     decode: Callable[[Any], Any] | None = None
+    codec: WireCodec | None = None
+
+    def __post_init__(self) -> None:
+        if self.codec is not None:
+            if self.encode is not None or self.decode is not None:
+                raise ValueError(
+                    f"job {self.name}: pass either codec= or encode=/decode=, "
+                    "not both"
+                )
+            object.__setattr__(self, "encode", self.codec.encode)
+            object.__setattr__(self, "decode", self.codec.decode)
 
 
 def _map_shard_worker(
@@ -194,14 +274,21 @@ class Executor(Protocol):
     """Execution policy: run one job over records, return reducer outputs.
 
     ``run`` executes a keyed map-reduce job; ``run_map`` a map-only
-    :class:`ShardedMapJob` (outputs in input order).  ``close()`` releases
-    any held resources (worker pools); it must be safe to call repeatedly
-    and on executors that never ran a job.
+    :class:`ShardedMapJob` (outputs in input order).  ``install_state``
+    makes a heavyweight invariant object available to shard callables via
+    :func:`worker_state` (crossing the process boundary once per pool, or
+    not at all for in-process execution).  ``close()`` releases any held
+    resources (worker pools, installed state); it must be safe to call
+    repeatedly and on executors that never ran a job.
     """
 
     def run(self, records: Iterable[Any], job) -> list[Any]: ...
 
     def run_map(self, items: Iterable[Any], job: ShardedMapJob) -> list[Any]: ...
+
+    def install_state(self, key: str, value: Any) -> None: ...
+
+    def uninstall_state(self, key: str) -> None: ...
 
     def close(self) -> None: ...
 
@@ -211,14 +298,27 @@ class SerialExecutor:
 
     name = "serial"
 
+    def __init__(self) -> None:
+        self._installed: dict[str, Any] = {}
+
     def run(self, records: Iterable[Any], job) -> list[Any]:
         return reduce_serial(map_and_shuffle(records, job.mapper), job)
 
     def run_map(self, items: Iterable[Any], job: ShardedMapJob) -> list[Any]:
         return map_serial(list(items), job)
 
-    def close(self) -> None:  # symmetry with ParallelExecutor
-        pass
+    def install_state(self, key: str, value: Any) -> None:
+        """Register ``value`` for :func:`worker_state` lookup (in-process)."""
+        _WORKER_STATE[key] = value
+        self._installed[key] = value
+
+    def uninstall_state(self, key: str) -> None:
+        """Drop ``key`` from the registry (no-op if absent)."""
+        _release_parent_state(self._installed, key)
+
+    def close(self) -> None:
+        for key in list(self._installed):
+            _release_parent_state(self._installed, key)
 
     def __enter__(self) -> "SerialExecutor":
         return self
@@ -233,36 +333,102 @@ class ParallelExecutor:
     ``max_workers`` defaults to the CPU count (minimum 2, so the backend is
     exercised even on single-core hosts); ``min_keys`` is the group-count
     threshold below which dispatch overhead cannot pay off and the reduce
-    runs in-process.  The pool is created lazily and reused across jobs
-    (fusion runs many rounds through one executor); call :meth:`close` or
-    use the executor as a context manager to release it.
+    runs in-process.  ``start_method`` pins the multiprocessing start
+    method (``"fork"``/``"spawn"``/``"forkserver"``; None prefers fork
+    where available — cheapest pool start, and installed state is
+    inherited by memory copy).  The pool is created lazily and reused
+    across jobs (fusion runs many rounds through one executor); call
+    :meth:`close` or use the executor as a context manager to release it.
+
+    State installed with :meth:`install_state` reaches workers through the
+    pool initializer; installing *after* the pool has started restarts it
+    so new workers see the full registry — once per pipeline stage, never
+    per shard.
     """
 
     name = "parallel"
 
-    def __init__(self, max_workers: int | None = None, min_keys: int = 2) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        min_keys: int = 2,
+        start_method: str | None = None,
+    ) -> None:
         self.max_workers = max_workers or max(2, os.cpu_count() or 1)
         self.min_keys = min_keys
+        self.start_method = start_method
         self.fallbacks_tiny = 0  # jobs too small for dispatch to pay off
         self.fallbacks_unpicklable = 0  # jobs whose work unit cannot pickle
         self._pool: ProcessPoolExecutor | None = None
+        self._state_blobs: dict[str, bytes] = {}
+        self._installed: dict[str, Any] = {}
+        self._unpicklable_state: set[str] = set()
 
     @property
     def fallbacks(self) -> int:
         """Total jobs that ran in-process despite the parallel backend."""
         return self.fallbacks_tiny + self.fallbacks_unpicklable
 
+    def install_state(self, key: str, value: Any) -> None:
+        """Make ``value`` pool-resident under ``key``.
+
+        The value is pickled once, here; workers unpickle it once each, in
+        the pool initializer.  It is also registered in the parent so
+        :func:`worker_state` resolves on the in-process fallback paths.
+        Reinstalling an identical value is a no-op; new state after the
+        pool has started triggers one pool restart.
+
+        A value that cannot pickle is registered parent-side only and the
+        executor degrades to in-process execution (counted per job in
+        ``fallbacks_unpicklable``) until the key is replaced or
+        uninstalled — the same graceful path an unpicklable work unit
+        takes.
+        """
+        self._installed[key] = value
+        _WORKER_STATE[key] = value
+        try:
+            blob = pickle.dumps(value)
+        except Exception:
+            self._unpicklable_state.add(key)
+            self._state_blobs.pop(key, None)
+            return
+        self._unpicklable_state.discard(key)
+        if self._state_blobs.get(key) == blob:
+            return
+        self._state_blobs[key] = blob
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def uninstall_state(self, key: str) -> None:
+        """Drop ``key``: future pools will not carry it (no-op if absent).
+
+        Already-running workers keep their copy — harmless dead weight —
+        but the next pool (re)start omits it, so a later stage's
+        ``install_state`` does not re-ship state only an earlier stage
+        needed.
+        """
+        _release_parent_state(self._installed, key)
+        self._state_blobs.pop(key, None)
+        self._unpicklable_state.discard(key)
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            # fork (where available) lets workers inherit the parent's hash
-            # randomization, which the bit-identity contract needs for
-            # reducers that iterate sets; see the module docstring.
-            try:
-                mp_context = multiprocessing.get_context("fork")
-            except ValueError:
-                mp_context = None
+            method = self.start_method
+            if method is None:
+                method = (
+                    "fork"
+                    if "fork" in multiprocessing.get_all_start_methods()
+                    else None
+                )
+            mp_context = (
+                multiprocessing.get_context(method) if method is not None else None
+            )
             self._pool = ProcessPoolExecutor(
-                max_workers=self.max_workers, mp_context=mp_context
+                max_workers=self.max_workers,
+                mp_context=mp_context,
+                initializer=_init_worker_state if self._state_blobs else None,
+                initargs=(dict(self._state_blobs),) if self._state_blobs else (),
             )
         return self._pool
 
@@ -271,6 +437,11 @@ class ParallelExecutor:
         sorted_keys = sorted(groups)
         if len(sorted_keys) < self.min_keys:
             self.fallbacks_tiny += 1
+            return reduce_serial(groups, job)
+        if self._unpicklable_state:
+            # Installed state never reached the workers; the parent-side
+            # registry still resolves, so run the job in-process.
+            self.fallbacks_unpicklable += 1
             return reduce_serial(groups, job)
         spec = _ReduceSpec(
             name=job.name,
@@ -306,6 +477,11 @@ class ParallelExecutor:
         if len(items) < self.min_keys:
             self.fallbacks_tiny += 1
             return map_serial(items, job)
+        if self._unpicklable_state:
+            # Installed state never reached the workers; the parent-side
+            # registry still resolves, so run the job in-process.
+            self.fallbacks_unpicklable += 1
+            return map_serial(items, job)
         try:
             spec_bytes = pickle.dumps((job.map_shard, job.encode))
         except Exception:
@@ -333,6 +509,10 @@ class ParallelExecutor:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        for key in list(self._installed):
+            _release_parent_state(self._installed, key)
+        self._state_blobs.clear()
+        self._unpicklable_state.clear()
 
     def __enter__(self) -> "ParallelExecutor":
         return self

@@ -103,3 +103,18 @@ class TestScenario:
 
     def test_different_seeds_differ(self, tiny_scenario, tiny_scenario_alt_seed):
         assert tiny_scenario.records != tiny_scenario_alt_seed.records
+
+    @pytest.mark.parallel_backend
+    def test_build_scenario_on_caller_managed_executor(self, tiny_scenario):
+        """A shared worker pool can drive scenario extraction; the records
+        are bit-identical to the cached serial build."""
+        from repro.datasets import tiny_config
+        from repro.mapreduce.executors import ParallelExecutor
+
+        with ParallelExecutor(max_workers=2) as executor:
+            scenario = build_scenario(
+                tiny_config(seed=7), use_cache=False, executor=executor
+            )
+            assert executor.fallbacks == 0
+        assert scenario.records == tiny_scenario.records
+        assert scenario.gold == tiny_scenario.gold

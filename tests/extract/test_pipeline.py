@@ -130,8 +130,25 @@ class TestPipeline:
         assert records == tiny_scenario.records
 
 
+@pytest.mark.parallel_backend
 class TestBackends:
     """Serial/parallel parity for the sharded extraction stage."""
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_parallel_bit_identical_under_both_start_methods(
+        self, tiny_scenario, start_method
+    ):
+        """The resident fleet crosses via the pool initializer, so spawn
+        workers (fresh interpreters) must reproduce the serial stream
+        exactly, like fork workers do."""
+        from repro.mapreduce.executors import ParallelExecutor
+
+        with ParallelExecutor(max_workers=2, start_method=start_method) as executor:
+            records = tiny_scenario.pipeline.run(
+                tiny_scenario.corpus, executor=executor
+            )
+            assert executor.fallbacks == 0
+        assert records == tiny_scenario.records
 
     def test_unknown_backend_rejected(self, tiny_scenario):
         from repro.errors import ConfigError

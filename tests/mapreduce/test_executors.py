@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.mapreduce.codec import WireCodec, scan_payload_types
 from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
 from repro.mapreduce.executors import (
     Executor,
@@ -9,7 +10,10 @@ from repro.mapreduce.executors import (
     SerialExecutor,
     ShardedMapJob,
     shard_for_key,
+    worker_state,
 )
+
+pytestmark = pytest.mark.parallel_backend
 
 
 def _split_mapper(text):
@@ -194,6 +198,170 @@ class TestShardedMap:
         )
         with pytest.raises(ValueError):
             SerialExecutor().run_map(self.ITEMS, job)
+
+
+def _offset_shard(items):
+    """A shard body that depends on pool-resident state."""
+    offset = worker_state("test.offset")
+    return [item + offset for item in items]
+
+
+def offset_map_job():
+    return ShardedMapJob(
+        name="offset", map_shard=_offset_shard, key_fn=_identity_key
+    )
+
+
+class TestWorkerState:
+    ITEMS = list(range(23))
+
+    def test_serial_install_and_cleanup(self):
+        executor = SerialExecutor()
+        executor.install_state("test.offset", 100)
+        assert executor.run_map(self.ITEMS, offset_map_job()) == [
+            i + 100 for i in self.ITEMS
+        ]
+        executor.close()
+        with pytest.raises(RuntimeError, match="test.offset"):
+            worker_state("test.offset")
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_parallel_state_reaches_workers(self, start_method):
+        with ParallelExecutor(max_workers=2, start_method=start_method) as executor:
+            executor.install_state("test.offset", 1000)
+            assert executor.run_map(self.ITEMS, offset_map_job()) == [
+                i + 1000 for i in self.ITEMS
+            ]
+            assert executor.fallbacks == 0
+
+    def test_missing_state_raises_with_hint(self):
+        with pytest.raises(RuntimeError, match="install_state"):
+            worker_state("test.never-installed")
+
+    def test_reinstalling_identical_state_keeps_pool(self):
+        with ParallelExecutor(max_workers=2) as executor:
+            executor.install_state("test.offset", 7)
+            executor.run_map(self.ITEMS, offset_map_job())
+            pool = executor._pool
+            assert pool is not None
+            executor.install_state("test.offset", 7)
+            assert executor._pool is pool
+
+    def test_new_state_restarts_pool_once(self):
+        with ParallelExecutor(max_workers=2) as executor:
+            executor.install_state("test.offset", 7)
+            executor.run_map(self.ITEMS, offset_map_job())
+            first_pool = executor._pool
+            executor.install_state("test.offset", 8)
+            assert executor._pool is None  # restarted lazily
+            assert executor.run_map(self.ITEMS, offset_map_job()) == [
+                i + 8 for i in self.ITEMS
+            ]
+            assert executor._pool is not first_pool
+
+    def test_state_resolves_on_in_process_fallback(self):
+        # min_keys forces the tiny fallback: the shard body must still
+        # find the state through the parent-side registry.
+        with ParallelExecutor(max_workers=2, min_keys=100) as executor:
+            executor.install_state("test.offset", 5)
+            assert executor.run_map(self.ITEMS, offset_map_job()) == [
+                i + 5 for i in self.ITEMS
+            ]
+            assert executor.fallbacks_tiny == 1
+
+    def test_close_uninstalls_parallel_state(self):
+        executor = ParallelExecutor(max_workers=2)
+        executor.install_state("test.offset", 7)
+        executor.close()
+        with pytest.raises(RuntimeError):
+            worker_state("test.offset")
+
+    def test_unpicklable_state_degrades_to_in_process(self):
+        """State that will not pickle never reaches workers; jobs run
+        in-process against the parent registry and are counted, exactly
+        like an unpicklable work unit."""
+        with ParallelExecutor(max_workers=2) as executor:
+            executor.install_state("test.offset", 10)  # lambda-free baseline
+            unpicklable = {"offset": 10, "hook": lambda: None}
+            executor.install_state("test.unpicklable", unpicklable)
+            assert executor.run_map(self.ITEMS, offset_map_job()) == [
+                i + 10 for i in self.ITEMS
+            ]
+            assert executor.fallbacks_unpicklable == 1
+            # Replacing the bad state restores real dispatch.
+            executor.install_state("test.unpicklable", {"offset": 10})
+            assert executor.run_map(self.ITEMS, offset_map_job()) == [
+                i + 10 for i in self.ITEMS
+            ]
+            assert executor.fallbacks_unpicklable == 1
+
+    def test_uninstall_state_drops_key_from_future_pools(self):
+        with ParallelExecutor(max_workers=2) as executor:
+            executor.install_state("test.offset", 3)
+            executor.install_state("test.extra", "heavy")
+            executor.uninstall_state("test.extra")
+            assert "test.extra" not in executor._state_blobs
+            with pytest.raises(RuntimeError):
+                worker_state("test.extra")
+            assert executor.run_map(self.ITEMS, offset_map_job()) == [
+                i + 3 for i in self.ITEMS
+            ]
+
+    def test_close_leaves_another_executors_state_alone(self):
+        """Later installs win; an earlier executor's close must not tear
+        down the value a live executor has since installed."""
+        first = SerialExecutor()
+        second = SerialExecutor()
+        try:
+            first.install_state("test.offset", 1)
+            second.install_state("test.offset", 2)
+            first.close()
+            assert worker_state("test.offset") == 2
+        finally:
+            second.close()
+
+
+class TestWireCodecLayer:
+    def test_job_accepts_codec_object(self, parallel):
+        codec = WireCodec(encode=_encode_out, decode=_decode_out)
+        job = ShardedMapJob(
+            name="square", map_shard=_square_shard, key_fn=_identity_key,
+            codec=codec,
+        )
+        assert parallel.run_map(TestShardedMap.ITEMS, job) == [
+            i * i for i in TestShardedMap.ITEMS
+        ]
+
+    def test_codec_and_callables_mutually_exclusive(self):
+        codec = WireCodec(encode=_encode_out, decode=_decode_out)
+        with pytest.raises(ValueError, match="not both"):
+            ShardedMapJob(
+                name="square", map_shard=_square_shard, key_fn=_identity_key,
+                codec=codec, encode=_encode_out,
+            )
+
+    def test_scan_payload_types_sees_through_containers(self):
+        import numpy as np
+
+        class Marker:
+            pass
+
+        payload = {"a": [(1, Marker()), np.arange(3)], ("k",): {2.0}}
+        types = scan_payload_types(payload)
+        assert Marker in types
+        assert int in types and float in types
+
+    def test_scan_payload_types_descends_into_dataclasses(self):
+        from dataclasses import dataclass
+
+        class Marker:
+            pass
+
+        @dataclass(frozen=True)
+        class Spec:
+            inner: object
+
+        assert Marker in scan_payload_types(Spec(inner=(Marker(),)))
 
 
 class TestSharding:

@@ -113,3 +113,102 @@ class TestCLI:
         parallel_out = capsys.readouterr().out
         line = next(l for l in serial_out.splitlines() if l.startswith("records:"))
         assert line in parallel_out
+
+
+class TestCLIFuse:
+    def test_fuse_serial(self, capsys):
+        assert main(["fuse", "popaccu", "--scale", "tiny", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "method:        POPACCU" in out
+        assert "backend:       serial" in out
+        assert "backend used:  serial" in out
+        assert "coverage:" in out
+
+    @pytest.mark.parallel_backend
+    def test_fuse_parallel_reports_fallback_diagnostics(self, capsys):
+        assert (
+            main(["fuse", "popaccu+", "--scale", "tiny", "--seed", "7",
+                  "--backend", "parallel", "--workers", "2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "backend:       parallel" in out
+        assert "backend used:  parallel" in out
+        assert "fallbacks:" in out and "unpicklable" in out
+
+    @pytest.mark.parallel_backend
+    def test_fuse_backend_round_trip_identical_summary(self, capsys):
+        """Numbers lines (rounds/triples/coverage/mean) must agree across
+        every backend — serial, parallel, vectorized."""
+        summaries = {}
+        for backend in ("serial", "parallel", "vectorized"):
+            assert (
+                main(["fuse", "popaccu", "--scale", "tiny", "--seed", "7",
+                      "--backend", backend])
+                == 0
+            )
+            out = capsys.readouterr().out
+            summaries[backend] = [
+                line for line in out.splitlines()
+                if line.startswith(("rounds:", "triples:", "unpredicted:",
+                                    "coverage:", "mean p(true):"))
+            ]
+        assert summaries["serial"] == summaries["parallel"]
+        assert summaries["serial"] == summaries["vectorized"]
+
+    def test_fuse_invalid_workers_exits_2(self, capsys):
+        assert main(["fuse", "popaccu", "--workers", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_fuse_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fuse", "popaccu", "--backend", "gpu"])
+
+
+class TestCLIPipeline:
+    def test_pipeline_serial(self, capsys):
+        assert main(["pipeline", "--scale", "tiny", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "method:        POPACCU+" in out
+        assert "backend:       serial" in out
+        for stage in ("setup:", "extraction:", "labeling:", "fusion:", "total:"):
+            assert stage in out
+        assert "auc-pr:" in out and "gold accuracy:" in out
+
+    @pytest.mark.parallel_backend
+    def test_pipeline_parallel_reports_workers_and_fallbacks(self, capsys):
+        assert (
+            main(["pipeline", "vote", "--scale", "tiny", "--seed", "7",
+                  "--backend", "parallel", "--workers", "2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "method:        VOTE" in out
+        assert "backend:       parallel" in out
+        assert "workers:       2" in out
+        assert "fallbacks:" in out and "tiny" in out and "unpicklable" in out
+
+    @pytest.mark.parallel_backend
+    def test_pipeline_backend_round_trip_identical_metrics(self, capsys):
+        metric_lines = {}
+        for backend in ("serial", "parallel"):
+            assert (
+                main(["pipeline", "popaccu+", "--scale", "tiny", "--seed", "7",
+                      "--backend", backend])
+                == 0
+            )
+            out = capsys.readouterr().out
+            metric_lines[backend] = [
+                line for line in out.splitlines()
+                if line.startswith(("pages:", "rounds:", "triples:", "coverage:",
+                                    "deviation:", "auc-pr:", "gold accuracy:"))
+            ]
+        assert metric_lines["serial"] == metric_lines["parallel"]
+
+    def test_pipeline_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["pipeline", "--scale", "galactic"])
+
+    def test_pipeline_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["pipeline", "bayes-net"])
