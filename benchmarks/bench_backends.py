@@ -1,10 +1,15 @@
-"""Backend comparison bench: serial-scalar vs parallel vs vectorized.
+"""Backend comparison bench: serial vs parallel vs vectorized vs hybrid.
 
 Times one full POPACCU round (Stage I + Stage II + Stage III) on the
 shared session scenario under each execution backend, checks the results
-agree, asserts the headline speedup (vectorized ≥ 3x over scalar-serial
-on the ``bench_popaccu_round`` scenario), and persists a small report to
-``benchmarks/results/backends.txt``.
+agree under their documented parity contracts (parallel bitwise,
+vectorized/hybrid 1e-9 tolerance), asserts the headline speedup
+(vectorized ≥ 3x over scalar-serial on the ``bench_popaccu_round``
+scenario), and persists a small report to
+``benchmarks/results/backends.txt``.  A second bench times the
+canonical-order sampling contract: an ``L``-sampled round through the
+parallel backend (which no longer falls back to serial) vs the sampled
+serial reference, persisted to ``benchmarks/results/sampling.txt``.
 
 Timings are taken with ``time.perf_counter`` (best of three) so the
 numbers — and the speedup assertion — are valid even when pytest-benchmark
@@ -43,12 +48,16 @@ def bench_backend_comparison(benchmark, scenario, results_dir):
 
     # Warm the shared caches (claim matrix + columnar index) once, the way
     # any multi-round fusion run would.
-    results = {backend: run(backend) for backend in ("serial", "parallel", "vectorized")}
+    results = {
+        backend: run(backend)
+        for backend in ("serial", "parallel", "vectorized", "hybrid")
+    }
     assert results["vectorized"].diagnostics["backend_used"] == "vectorized"
+    assert results["hybrid"].diagnostics["backend_used"] == "hybrid"
 
     # Parallel is bit-identical under fork (spawn-only platforms agree to
-    # the last ulp — see repro.mapreduce.executors); vectorized within
-    # numerical noise.
+    # the last ulp — see repro.mapreduce.executors); vectorized and hybrid
+    # within the documented 1e-9 tolerance contract.
     serial = results["serial"]
     if "fork" in multiprocessing.get_all_start_methods():
         assert results["parallel"].probabilities == serial.probabilities
@@ -57,10 +66,11 @@ def bench_backend_comparison(benchmark, scenario, results_dir):
             assert results["parallel"].probabilities[triple] == pytest.approx(
                 probability, abs=1e-12
             )
-    for triple, probability in serial.probabilities.items():
-        assert results["vectorized"].probabilities[triple] == pytest.approx(
-            probability, abs=1e-9
-        )
+    for backend in ("vectorized", "hybrid"):
+        for triple, probability in serial.probabilities.items():
+            assert results[backend].probabilities[triple] == pytest.approx(
+                probability, abs=1e-9
+            )
 
     timings = {backend: _best_of(lambda b=backend: run(b)) for backend in results}
     benchmark.pedantic(lambda: run("vectorized"), rounds=1, iterations=1)
@@ -81,3 +91,53 @@ def bench_backend_comparison(benchmark, scenario, results_dir):
         f"vectorized backend only {speedup:.2f}x faster than scalar "
         f"(required >= {_MIN_SPEEDUP}x)\n" + "\n".join(lines)
     )
+
+
+def bench_sampling_contract(benchmark, scenario, results_dir):
+    """Canonical-order sampling keeps the parallel backend engaged.
+
+    Before the contract, any reducer-input bound ``L`` small enough to
+    engage silently degraded every parallel run to the in-process serial
+    reference ("serial (parallel fallback)").  Now the shard workers
+    re-draw the canonical-order subsets against the resident columns:
+    this bench asserts the sampled parallel run really runs parallel,
+    stays bit-identical to the sampled serial reference, and records the
+    wall-clock of both to ``benchmarks/results/sampling.txt``.
+    """
+    fusion_input = scenario.fusion_input()
+    # Engage sampling on a meaningful fraction of items without gutting
+    # the workload (the small scenario's largest items carry ~40 claims).
+    sample_limit = 5
+
+    def run(backend: str):
+        config = FusionConfig(
+            max_rounds=1,
+            convergence_tol=0.0,
+            backend=backend,
+            sample_limit=sample_limit,
+        )
+        return popaccu(config).fuse(fusion_input)
+
+    results = {backend: run(backend) for backend in ("serial", "parallel")}
+    parallel = results["parallel"]
+    assert parallel.diagnostics["backend_used"] == "parallel", (
+        "sampling must no longer force the serial fallback"
+    )
+    assert parallel.diagnostics["sampling"] == "canonical-order"
+    if "fork" in multiprocessing.get_all_start_methods():
+        assert parallel.probabilities == results["serial"].probabilities
+
+    timings = {backend: _best_of(lambda b=backend: run(b)) for backend in results}
+    benchmark.pedantic(lambda: run("parallel"), rounds=1, iterations=1)
+
+    lines = [
+        f"POPACCU single round, L={sample_limit} (sampling engaged), "
+        f"canonical-order contract; best of {_ROUNDS}",
+        *(
+            f"{backend:>12}: {seconds * 1000:9.1f} ms"
+            for backend, seconds in sorted(timings.items(), key=lambda kv: kv[1])
+        ),
+        f"parallel backend_used: {parallel.diagnostics['backend_used']} "
+        "(no serial fallback)",
+    ]
+    (results_dir / "sampling.txt").write_text("\n".join(lines) + "\n")

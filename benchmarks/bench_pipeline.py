@@ -9,11 +9,12 @@ Besides the pytest-benchmark cases, this module is directly runnable::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py [--scale small]
 
-which runs the full pipeline end-to-end under the serial and parallel
-backends on one shared executor each, asserts the outputs are
-bit-identical, and writes the machine-readable per-stage wall-clock
-comparison to ``benchmarks/results/BENCH_pipeline.json`` — the artifact
-the ROADMAP speedup numbers come from.
+which runs the full pipeline end-to-end under the serial, parallel and
+hybrid backends on one shared executor each, asserts serial == parallel
+bit-identically and hybrid within the 1e-9 metric-delta contract, and
+writes the machine-readable per-stage wall-clock comparison to
+``benchmarks/results/BENCH_pipeline.json`` — the artifact the ROADMAP
+speedup numbers come from.
 """
 
 import argparse
@@ -127,6 +128,34 @@ def bench_popaccu_round_parallel(benchmark, scenario):
     assert result.diagnostics["backend_used"] == "parallel"
 
 
+def bench_popaccu_round_hybrid(benchmark, scenario):
+    """The same POPACCU round through the hybrid backend.
+
+    Compare against ``bench_popaccu_round_parallel``: shard payloads are
+    identical (integer ids + float buffers over pool-resident columns),
+    but each worker runs one batched numpy kernel call per shard instead
+    of the per-item scalar loop — the ~40x kernel win multiplied by the
+    worker count, at tolerance (1e-9) instead of bitwise parity.
+    """
+    from repro.mapreduce.executors import ParallelExecutor
+
+    fusion_input = scenario.fusion_input()
+    config = FusionConfig(max_rounds=1, convergence_tol=0.0)
+    fusion_input.claims(config.granularity).columnar()  # build index once
+
+    with ParallelExecutor() as executor:
+
+        def one_round():
+            return popaccu(config, backend="hybrid").fuse(
+                fusion_input, executor=executor
+            )
+
+        result = benchmark.pedantic(one_round, rounds=3, iterations=1)
+    assert result.probabilities
+    assert result.diagnostics["backend_used"] == "hybrid"
+    assert result.diagnostics["parity"] == "tolerance"
+
+
 def bench_popaccu_round_vectorized(benchmark, scenario):
     """The same POPACCU round through the vectorized columnar backend.
 
@@ -152,18 +181,29 @@ def bench_popaccu_round_vectorized(benchmark, scenario):
 # ---------------------------------------------------------------------------
 
 
+#: The documented parity bound hybrid metrics must honour against serial
+#: (re-exported from the fusion layer so a drifting contract fails loudly
+#: here too).
+HYBRID_METRIC_TOLERANCE = 1e-9
+
+
 def collect_pipeline_timings(
     scale: str = "small", seed: int = 0, workers: int | None = None
 ) -> dict:
-    """Serial vs. parallel per-stage wall-clock for the full pipeline.
+    """Serial vs. parallel vs. hybrid per-stage wall-clock, full pipeline.
 
-    Both runs go through :func:`repro.endtoend.run_end_to_end` (one shared
-    executor per run); the parallel run's output is asserted bit-identical
-    to the serial run's before any number is reported, so the comparison
-    can never quietly measure two different computations.
+    All runs go through :func:`repro.endtoend.run_end_to_end` (one shared
+    executor per run).  Before any number is reported the parallel run's
+    output is asserted *bit-identical* to serial and the hybrid run's
+    headline metrics are asserted within the documented 1e-9 tolerance
+    contract, so the comparison can never quietly measure two different
+    computations.
     """
     from repro.datasets import medium_config, small_config, tiny_config
     from repro.endtoend import run_end_to_end
+    from repro.fusion import PARITY_TOLERANCE_ABS
+
+    assert HYBRID_METRIC_TOLERANCE == PARITY_TOLERANCE_ABS
 
     config = {"tiny": tiny_config, "small": small_config, "medium": medium_config}[
         scale
@@ -172,9 +212,21 @@ def collect_pipeline_timings(
     parallel = run_end_to_end(
         config, method="popaccu+", backend="parallel", n_workers=workers
     )
+    hybrid = run_end_to_end(
+        config, method="popaccu+", backend="hybrid", n_workers=workers
+    )
     assert serial.fusion.probabilities == parallel.fusion.probabilities
     assert serial.fusion.accuracies == parallel.fusion.accuracies
     assert serial.scenario.records == parallel.scenario.records
+    assert hybrid.fusion.diagnostics["backend_used"] == "hybrid"
+    assert hybrid.scenario.records == serial.scenario.records
+    hybrid_metric_delta = max(
+        abs(hybrid.metrics[name] - value) for name, value in serial.metrics.items()
+    )
+    assert hybrid_metric_delta <= HYBRID_METRIC_TOLERANCE, (
+        f"hybrid metrics drifted {hybrid_metric_delta:.3e} from serial "
+        f"(contract: <= {HYBRID_METRIC_TOLERANCE})"
+    )
 
     def round3(timings: dict) -> dict:
         return {stage: round(elapsed, 3) for stage, elapsed in timings.items()}
@@ -188,9 +240,12 @@ def collect_pipeline_timings(
         "n_pages": serial.diagnostics["n_pages"],
         "n_records": serial.diagnostics["n_records"],
         "bit_identical": True,
+        "hybrid_parity": hybrid.fusion.diagnostics["parity"],
+        "hybrid_max_metric_delta": hybrid_metric_delta,
         "stages": {
             "serial": round3(serial.timings),
             "parallel": round3(parallel.timings),
+            "hybrid": round3(hybrid.timings),
         },
         "parallel_fallbacks": {
             "tiny": parallel.diagnostics.get("fallbacks_tiny", 0),

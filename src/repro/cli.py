@@ -7,7 +7,7 @@ Usage::
     repro-kf run all --scale tiny
     repro-kf fuse popaccu --backend vectorized [--scale small] [--seed 0]
     repro-kf extract --backend parallel [--scale small] [--seed 0]
-    repro-kf pipeline popaccu+ --backend parallel [--workers 4]
+    repro-kf pipeline popaccu+ --backend hybrid [--workers 4]
     python -m repro.cli run table2
 
 The scenario is generated deterministically from the seed; the first
@@ -22,7 +22,10 @@ counters; the record stream is bit-identical across backends.
 ``pipeline`` runs the whole thing — extraction → gold labeling → fusion —
 on a *single shared executor* (one worker pool for both stages; see
 :func:`repro.endtoend.run_end_to_end`), printing per-stage timings and the
-headline metrics; output is bit-identical across backends.
+headline metrics; ``serial`` and ``parallel`` output is bit-identical,
+``hybrid`` (batched fusion kernels inside each parallel shard) honours
+the 1e-9 tolerance parity contract — the reported ``parity`` line says
+which applied.
 """
 
 from __future__ import annotations
@@ -38,7 +41,7 @@ from repro.datasets import (
     small_config,
     tiny_config,
 )
-from repro.endtoend import PIPELINE_METHODS
+from repro.endtoend import PIPELINE_BACKENDS, PIPELINE_METHODS
 from repro.experiments import experiment_ids, run_experiment
 from repro.extract.pipeline import EXTRACTION_BACKENDS
 from repro.fusion.base import BACKENDS
@@ -131,9 +134,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     pipeline_parser.add_argument(
         "--backend",
-        choices=("serial", "parallel"),
+        choices=PIPELINE_BACKENDS,
         default="serial",
-        help="execution backend for both stages (default: serial)",
+        help="execution backend for both stages (default: serial); "
+        "hybrid = parallel extraction + batched in-shard fusion kernels",
     )
     pipeline_parser.add_argument(
         "--scale",
@@ -173,6 +177,8 @@ def _run_fuse(args) -> int:
     print(f"method:        {result.method}")
     print(f"backend:       {result.diagnostics.get('backend', args.backend)}")
     print(f"backend used:  {result.diagnostics.get('backend_used', 'serial')}")
+    print(f"parity:        {result.diagnostics.get('parity', 'bitwise')}")
+    print(f"sampling:      {result.diagnostics.get('sampling', 'unbounded')}")
     if "fallbacks_tiny" in result.diagnostics:
         print(
             f"fallbacks:     {result.diagnostics['fallbacks_tiny']} tiny, "
@@ -256,6 +262,8 @@ def _run_pipeline(args) -> int:
     print(f"method:        {result.fusion.method}")
     print(f"backend:       {result.backend}")
     print(f"backend used:  {diagnostics.get('backend_used', 'serial')}")
+    print(f"parity:        {diagnostics.get('parity', 'bitwise')}")
+    print(f"sampling:      {diagnostics.get('sampling', 'unbounded')}")
     if "n_workers" in diagnostics:
         print(f"workers:       {diagnostics['n_workers']}")
     if "fallbacks_tiny" in diagnostics:

@@ -11,11 +11,14 @@ hand-off cheap: extraction installs the 12-extractor fleet, fusion
 installs the columnar claim index; the pool restarts exactly once at the
 stage boundary and never re-ships state per shard.
 
-Output is **bit-identical to the serial path**: the record stream, gold
-labels, fused probabilities, accuracies and unpredicted set of
-``run_end_to_end(..., backend="parallel")`` equal the serial reference
-exactly (the regression suite asserts this at several worker counts and
-under both fork and spawn start methods).
+``backend="parallel"`` output is **bit-identical to the serial path**:
+the record stream, gold labels, fused probabilities, accuracies and
+unpredicted set equal the serial reference exactly (the regression suite
+asserts this at several worker counts and under both fork and spawn start
+methods).  ``backend="hybrid"`` keeps extraction bit-identical but runs
+fusion through the batched in-shard kernels, honouring the documented
+1e-9 **tolerance** parity contract instead
+(``result.diagnostics["parity"]`` records which contract applied).
 
 ``repro-kf pipeline`` is the CLI face of this function; the headline
 metrics it reports (calibration deviation, AUC-PR, coverage) are the
@@ -44,10 +47,22 @@ from repro.world.facts import build_freebase_snapshot
 from repro.world.webgen import generate_corpus
 from repro.world.worldgen import generate_world
 
-__all__ = ["PIPELINE_METHODS", "EndToEndResult", "make_fuser", "run_end_to_end"]
+__all__ = [
+    "PIPELINE_BACKENDS",
+    "PIPELINE_METHODS",
+    "EndToEndResult",
+    "make_fuser",
+    "run_end_to_end",
+]
 
 #: Fusion method presets the pipeline (and the CLI) can run.
 PIPELINE_METHODS = ("vote", "accu", "popaccu", "popaccu+unsup", "popaccu+")
+
+#: Execution backends the pipeline can run both stages under.  ``hybrid``
+#: shares the parallel executor with extraction (which has no batched
+#: kernels and simply runs its normal parallel shards) while fusion runs
+#: vectorized kernels inside each shard.
+PIPELINE_BACKENDS = ("serial", "parallel", "hybrid")
 
 
 def make_fuser(
@@ -129,14 +144,18 @@ def run_end_to_end(
 ) -> EndToEndResult:
     """Run extraction → gold labeling → fusion on one shared executor.
 
-    ``backend`` selects ``serial`` or ``parallel`` for *both* stages; a
-    caller-managed ``executor`` overrides it (and is not closed here).
-    The fusion configuration inherits the scenario seed and the requested
-    backend unless ``fusion_config`` pins them explicitly.
+    ``backend`` selects the execution mode for *both* stages: ``serial``,
+    ``parallel`` (bit-identical to serial), or ``hybrid`` (extraction
+    runs parallel; fusion runs the batched kernels inside each parallel
+    shard — tolerance parity, see :mod:`repro.fusion.runner`).  A
+    caller-managed ``executor`` overrides the executor choice (and is not
+    closed here).  The fusion configuration inherits the scenario seed
+    and the requested backend unless ``fusion_config`` pins them
+    explicitly.
     """
-    if backend not in ("serial", "parallel"):
+    if backend not in PIPELINE_BACKENDS:
         raise ConfigError(
-            f"pipeline backend must be 'serial' or 'parallel', got {backend!r}"
+            f"pipeline backend must be one of {PIPELINE_BACKENDS}, got {backend!r}"
         )
     if method not in PIPELINE_METHODS:
         # Validate up front: extraction at the larger scales is minutes of
@@ -153,9 +172,12 @@ def run_end_to_end(
     if executor is None:
         executor = (
             ParallelExecutor(max_workers=n_workers)
-            if backend == "parallel"
+            if backend in ("parallel", "hybrid")
             else SerialExecutor()
         )
+    # Extraction has no batched kernels: under "hybrid" it runs its
+    # ordinary parallel shards on the shared pool.
+    extraction_backend = "serial" if backend == "serial" else "parallel"
 
     timings: dict[str, float] = {}
     start_total = time.perf_counter()
@@ -168,7 +190,7 @@ def run_end_to_end(
         timings["setup"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        records = pipeline.run(corpus, backend=backend, executor=executor)
+        records = pipeline.run(corpus, backend=extraction_backend, executor=executor)
         # The fleet was only needed for extraction; withdrawing it here
         # keeps the stage-boundary pool restart (when fusion installs the
         # claim columns) from re-shipping it to workers that never use it.

@@ -15,13 +15,28 @@ alternative flattenings.
 Posterior math exists in two parity-tested forms: scalar per-item
 reference implementations (``*_item_posteriors``) and batched numpy
 kernels (:mod:`repro.fusion.kernels`) over the columnar claim index
-(:class:`~repro.fusion.observations.ColumnarClaims`); ``FusionConfig.backend``
-selects scalar-serial, process-pool-parallel, or vectorized execution.
+(:class:`~repro.fusion.observations.ColumnarClaims`);
+``FusionConfig.backend`` selects scalar-serial, process-pool-parallel,
+vectorized, or hybrid (batched kernels inside each parallel shard)
+execution.  ``serial``/``parallel`` honour the bitwise parity contract,
+``vectorized``/``hybrid`` the 1e-9 tolerance one
+(:data:`~repro.fusion.base.PARITY_TOLERANCE_ABS`); see
+``docs/ARCHITECTURE.md`` for the full backend matrix.
 """
 
 from repro.fusion.provenance import Granularity, provenance_key
-from repro.fusion.observations import Claim, ColumnarClaims, FusionInput
-from repro.fusion.base import BACKENDS, Fuser, FusionConfig, FusionResult
+from repro.fusion.observations import Claim, ColumnarClaims, ColumnarSlice, FusionInput
+from repro.fusion.base import (
+    BACKENDS,
+    PARITY_BITWISE,
+    PARITY_TOLERANCE,
+    PARITY_TOLERANCE_ABS,
+    Fuser,
+    FusionConfig,
+    FusionResult,
+    parity_of,
+    sampling_contract_of,
+)
 from repro.fusion.vote import Vote, VoteKernel, vote_item_posteriors
 from repro.fusion.accu import Accu, AccuKernel, accu_item_posteriors
 from repro.fusion.popaccu import PopAccu, PopAccuKernel, popaccu_item_posteriors
@@ -38,8 +53,14 @@ __all__ = [
     "provenance_key",
     "Claim",
     "ColumnarClaims",
+    "ColumnarSlice",
     "FusionInput",
     "BACKENDS",
+    "PARITY_BITWISE",
+    "PARITY_TOLERANCE",
+    "PARITY_TOLERANCE_ABS",
+    "parity_of",
+    "sampling_contract_of",
     "Fuser",
     "FusionConfig",
     "FusionResult",

@@ -13,6 +13,17 @@ values; provenances are independent, each with accuracy ``A(S)``.
   default-accuracy provenance yields exactly p = A.
 
 Iteration (accuracy re-estimation) lives in :mod:`repro.fusion.runner`.
+
+Two cross-backend contracts anchor here.  *Canonical-order summation*:
+the scalar posterior sums floats in sorted order (see
+:func:`accu_item_posteriors`), which is what makes serial and parallel
+runs bit-identical.  *Canonical-order sampling*: when the reducer-input
+bound ``L`` engages, a data item's claims are sampled against their
+``(triple, provenance)`` canonical order
+(:func:`repro.fusion.runner.stage1_sample_key`) — the columnar claim
+layout's native order — so sampled subsets are identical whether drawn by
+the serial engine or re-drawn inside a parallel shard
+(:class:`repro.fusion.shuffle.Stage1ColumnarShard`).
 """
 
 from __future__ import annotations

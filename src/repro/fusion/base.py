@@ -19,16 +19,83 @@ from repro.fusion.observations import FusionInput, ProvKey
 from repro.fusion.provenance import Granularity
 from repro.kb.triples import Triple
 
-__all__ = ["BACKENDS", "FusionConfig", "FusionResult", "Fuser"]
+__all__ = [
+    "BACKENDS",
+    "PARITY_BITWISE",
+    "PARITY_TOLERANCE",
+    "PARITY_TOLERANCE_ABS",
+    "parity_of",
+    "sampling_contract_of",
+    "FusionConfig",
+    "FusionResult",
+    "Fuser",
+]
 
 #: Execution backends for the fusion pipeline:
 #: - ``serial``: scalar per-item posteriors through the in-process engine;
 #: - ``parallel``: same scalar reducers, sharded over a process pool
 #:   (bit-identical to ``serial``);
 #: - ``vectorized``: batched numpy kernels over the columnar claim index
-#:   (matches ``serial`` to ~1e-12; falls back to ``serial`` when the
-#:   posterior function has no batched form or sampling must engage).
-BACKENDS = ("serial", "parallel", "vectorized")
+#:   (matches ``serial`` to :data:`PARITY_TOLERANCE_ABS`; falls back to
+#:   ``serial`` when the posterior function has no batched form or
+#:   sampling must engage);
+#: - ``hybrid``: the vectorized kernels *inside* each parallel shard —
+#:   pool workers run one batched kernel call per shard of pool-resident
+#:   columns instead of N scalar updates (tolerance parity; degrades to
+#:   the scalar ``parallel`` path when the posterior function has no
+#:   batched form or sampling must engage).
+BACKENDS = ("serial", "parallel", "vectorized", "hybrid")
+
+#: Numeric parity contracts a fusion run can honour (recorded per run in
+#: ``result.diagnostics["parity"]``):
+#: - ``bitwise``: every float operation matches the serial reference in
+#:   the identical order — outputs are equal bit-for-bit, at any worker
+#:   count and start method, independent of ``PYTHONHASHSEED``;
+#: - ``tolerance``: batched summation order differs from the scalar
+#:   reference, so outputs agree only to :data:`PARITY_TOLERANCE_ABS`
+#:   (absolute).  Golden tests may freeze exact numbers only for
+#:   ``bitwise`` runs.
+PARITY_BITWISE = "bitwise"
+PARITY_TOLERANCE = "tolerance"
+
+#: The documented absolute tolerance of ``tolerance``-parity backends
+#: (vectorized / hybrid) against the scalar serial reference.  The
+#: kernels empirically sit near 1e-12; 1e-9 is the contractual bound the
+#: test suite and benchmarks assert.
+PARITY_TOLERANCE_ABS = 1e-9
+
+#: Which parity each *executed* backend honours.  Keyed by the resolved
+#: ``backend_used`` stem — fallback paths (``"serial (vectorized
+#: fallback)"``, ``"parallel (hybrid fallback)"``) run scalar kernels and
+#: are therefore bitwise.
+_BACKEND_PARITY = {
+    "serial": PARITY_BITWISE,
+    "parallel": PARITY_BITWISE,
+    "vectorized": PARITY_TOLERANCE,
+    "hybrid": PARITY_TOLERANCE,
+}
+
+
+def parity_of(backend_used: str) -> str:
+    """The numeric parity contract of a resolved ``backend_used`` string.
+
+    Fallback spellings such as ``"serial (vectorized fallback)"`` or
+    ``"parallel (hybrid fallback)"`` ran the scalar kernels and are
+    bitwise; only runs that actually executed batched kernels
+    (``"vectorized"``, ``"hybrid"``) are tolerance-parity.
+    """
+    return _BACKEND_PARITY.get(backend_used, PARITY_BITWISE)
+
+
+def sampling_contract_of(config: "FusionConfig") -> str:
+    """The reducer-input sampling contract tag for diagnostics.
+
+    ``"canonical-order"`` when the sampling bound ``L`` is set: sampled
+    subsets are drawn against each key's values in canonical (sorted)
+    order, so every backend — serial, parallel shards, fallbacks — picks
+    identical subsets.  ``"unbounded"`` when sampling is disabled.
+    """
+    return "canonical-order" if config.sample_limit is not None else "unbounded"
 
 
 @dataclass(frozen=True)
@@ -65,11 +132,15 @@ class FusionConfig:
         Seed for deterministic reducer sampling and gold subsampling.
     backend:
         Execution backend (see :data:`BACKENDS`): ``serial`` (default),
-        ``parallel`` (process-pool sharded reduce, bit-identical), or
-        ``vectorized`` (batched numpy Stage I/II over the columnar index).
+        ``parallel`` (process-pool sharded reduce, bit-identical),
+        ``vectorized`` (batched numpy Stage I/II over the columnar
+        index), or ``hybrid`` (batched kernels inside each parallel
+        shard).  ``serial``/``parallel`` honour the ``bitwise`` parity
+        contract, ``vectorized``/``hybrid`` the ``tolerance`` one (see
+        :func:`parity_of`).
     n_workers:
-        Worker-process count for the ``parallel`` backend (None = CPU
-        count); ignored by the other backends.
+        Worker-process count for the ``parallel`` and ``hybrid``
+        backends (None = CPU count); ignored by the other backends.
     """
 
     granularity: Granularity = Granularity.EXTRACTOR_URL

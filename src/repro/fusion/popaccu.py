@@ -7,6 +7,13 @@ making it robust to *popular* false values (copied errors): a wrong value
 repeated by many provenances is explained as a popular false value rather
 than forced toward truth.
 
+POPACCU honours the same cross-backend contracts as ACCU: canonical-order
+float summation (bitwise serial/parallel parity — see
+:func:`popaccu_item_posteriors`) and canonical-order reducer-input
+sampling (`L`-sampled subsets are drawn against sorted ``(triple,
+provenance)`` order, reproducible inside parallel shards; see
+:mod:`repro.fusion.runner` and :mod:`repro.fusion.shuffle`).
+
 Formulation (documented in DESIGN.md §4): candidates are the observed
 values plus an explicit OTHER ("the truth is none of the observed
 values").  With ``m(v)`` = #provenances claiming ``v`` and ``m(D)`` the

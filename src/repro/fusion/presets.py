@@ -9,8 +9,9 @@
 - :func:`popaccu_plus` — the semi-supervised flagship: all of the above
   plus gold-standard accuracy initialisation.
 
-Every preset accepts ``backend=`` (``serial``/``parallel``/``vectorized``)
-as a convenience override of ``FusionConfig.backend``.
+Every preset accepts ``backend=``
+(``serial``/``parallel``/``vectorized``/``hybrid``) as a convenience
+override of ``FusionConfig.backend``.
 """
 
 from __future__ import annotations

@@ -32,20 +32,48 @@ Execution backends (``FusionConfig.backend``):
   contiguous float64/bool buffers — no ``Claim``/``Triple`` objects in
   shard payloads), and workers run the identical scalar kernels —
   bit-identical to ``serial`` on fork *and* spawn, at any worker count.
-  Falls back to the in-process serial reference when reducer-input
-  sampling would engage (the sampled subsets are defined by the scalar
-  dataflow's value order, exactly as for ``vectorized``);
+  Reducer-input sampling (``L``) no longer degrades this path: sampled
+  subsets are defined in canonical order (see below) and the shard
+  workers re-draw them identically against the resident columns;
 - ``vectorized`` — both stages batched as numpy array operations over the
   cached columnar claim index (:mod:`repro.fusion.kernels`), skipping the
   per-item Python loop entirely.  Requires ``item_posterior_fn`` to carry
   a ``batch_round`` method (the built-in kernels do) and reverts to
-  ``serial`` when reducer-input sampling would engage.
+  ``serial`` when reducer-input sampling would engage (the batched
+  kernels score whole rounds and cannot subset per item);
+- ``hybrid`` — the composition: the columnar shuffle's sharded dispatch
+  *with* the vectorized kernels inside each shard
+  (:class:`~repro.fusion.shuffle.HybridStage1Shard`), so every worker
+  runs one batched kernel call per shard instead of N scalar updates.
+  Requires ``batch_round`` like ``vectorized``; degrades to the scalar
+  ``parallel`` shards (never to serial) when the kernel has no batched
+  form or sampling must engage.
+
+**Parity.**  ``serial``/``parallel`` honour the ``bitwise`` contract
+(identical floats, any worker count/start method);
+``vectorized``/``hybrid`` honour the ``tolerance`` contract (1e-9
+absolute, :data:`repro.fusion.base.PARITY_TOLERANCE_ABS`) because batched
+summation order differs.  Tolerance parity through an *iterated* θ-filter
+needs one extra guarantee: the discrete ``A(S) >= θ`` decisions must not
+flip on last-ulp drift (POPACCU parks many accuracies exactly at θ), so
+both batched paths recompute θ-boundary accuracies through the exact
+serial dataflow each round (:data:`THETA_RESCUE_BAND`).  Every run
+records the contract it honoured in ``result.diagnostics["parity"]``.
+
+**Canonical-order sampling.**  Stage-I samples a data item's claims in
+``(triple, provenance)`` canonical order; Stage-II samples a provenance's
+scored triples in canonical triple order (the jobs' ``sample_key``).  The
+sampled subset is therefore a property of the key's value *set*, not the
+scalar dataflow's arrival order — which is what lets the parallel shards
+(whose columnar layout enumerates values in exactly that order) reproduce
+it bit-for-bit.  ``result.diagnostics["sampling"]`` records
+``"canonical-order"`` whenever ``L`` is configured.
 
 ``result.diagnostics["backend"]`` records what was requested and
-``["backend_used"]`` what actually ran; ``parallel`` runs also report the
-executor's ``fallbacks_tiny`` / ``fallbacks_unpicklable`` counters (jobs
-that ran in-process because dispatch could not pay off, or because the
-posterior kernel would not pickle).
+``["backend_used"]`` what actually ran; ``parallel``/``hybrid`` runs also
+report the executor's ``fallbacks_tiny`` / ``fallbacks_unpicklable``
+counters (jobs that ran in-process because dispatch could not pay off, or
+because the posterior kernel would not pickle).
 
 A caller-managed executor can be threaded through ``run_bayesian_fusion``
 (and ``Fuser.fuse``) so extraction and fusion share one worker pool — the
@@ -61,7 +89,12 @@ from typing import Callable
 import numpy as np
 
 from repro.fusion import kernels, shuffle
-from repro.fusion.base import FusionConfig, FusionResult
+from repro.fusion.base import (
+    FusionConfig,
+    FusionResult,
+    parity_of,
+    sampling_contract_of,
+)
 from repro.fusion.observations import ColumnarClaims, FusionInput, ProvKey
 from repro.kb.triples import Triple
 from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
@@ -73,6 +106,8 @@ __all__ = [
     "make_executor",
     "sampling_would_engage",
     "stage1_mapper",
+    "stage1_sample_key",
+    "stage2_sample_key",
     "Stage1Reducer",
 ]
 
@@ -103,6 +138,28 @@ def stage1_mapper(claim):
     """
     item, triple, prov = claim
     return [(item.canonical(), (triple, prov))]
+
+
+def stage1_sample_key(value):
+    """Canonical order of one Stage-I value: ``(triple, provenance)``.
+
+    Matches the columnar claim layout (triples canonically sorted within
+    the item, provenances sorted within each row), so shard workers
+    re-draw identical sampled subsets against the resident columns.
+    Module-level so parallel reduce shards can pickle it.
+    """
+    triple, prov = value
+    return (triple.canonical(), prov)
+
+
+def stage2_sample_key(value):
+    """Canonical order of one Stage-II value: the triple.
+
+    The same order the Stage-II reducer sums in (``sorted(seen)``), and
+    the resident columns' ``canonical_rank`` — sampling and summation
+    stay aligned across backends.
+    """
+    return value[0].canonical()
 
 
 @dataclass(frozen=True, eq=False)
@@ -161,6 +218,7 @@ def _stage1(
         reducer=Stage1Reducer(item_posterior_fn, accuracies, require_repeated),
         sample_limit=config.sample_limit,
         seed=config.seed,
+        sample_key=stage1_sample_key,
     )
     return dict(engine.run(claim_stream, job))
 
@@ -191,12 +249,91 @@ def _stage2(
         reducer=_stage2_reducer,
         sample_limit=config.sample_limit,
         seed=config.seed,
+        sample_key=stage2_sample_key,
     )
     return dict(engine.run(pairs, job))
 
 
+#: Half-width of the θ-boundary rescue band used by the tolerance-parity
+#: backends (vectorized / hybrid).  The accuracy filter ``A(S) >= θ`` is a
+#: *discrete* decision over a continuous estimate, and the POPACCU valleys
+#: park many provenance accuracies exactly at θ = 0.5 — so a last-ulp
+#: summation difference would flip filter membership and snowball into
+#: O(1) output divergence over the rounds.  Any provenance whose batched
+#: Stage-II estimate lands within this band of θ therefore has its
+#: accuracy *recomputed through the exact serial scalar dataflow*
+#: (canonical-order sums over scalar per-item posteriors), making every
+#: θ-decision bit-identical to serial while the continuous mass of the
+#: computation stays batched.  The band must dwarf the batched-vs-scalar
+#: numeric drift (~1e-12) and be dwarfed by any meaningful accuracy
+#: difference; 1e-6 sits comfortably between.
+THETA_RESCUE_BAND = 1e-6
+
+
+def _scalar_item_posteriors(
+    cols: ColumnarClaims,
+    posterior_fn: ItemPosteriorFn,
+    accuracy_of: dict[ProvKey, float],
+    active: np.ndarray,
+    item: int,
+) -> dict[Triple, float]:
+    """One item's posteriors through the exact serial scalar dataflow."""
+    claims: dict[Triple, set[ProvKey]] = {}
+    for r in range(cols.item_ptr[item], cols.item_ptr[item + 1]):
+        provs = {
+            cols.provenances[p]
+            for p in cols.claim_prov[cols.row_ptr[r] : cols.row_ptr[r + 1]]
+            if active[p]
+        }
+        if provs:
+            claims[cols.triples[r]] = provs
+    return posterior_fn(claims, accuracy_of) if claims else {}
+
+
+def _exact_boundary_accuracies(
+    cols: ColumnarClaims,
+    posterior_fn: ItemPosteriorFn,
+    round_accuracies: np.ndarray,
+    active: np.ndarray,
+    scored: np.ndarray,
+    boundary_provs,
+) -> dict[int, float]:
+    """Serial-exact Stage-II accuracies for the θ-boundary provenances.
+
+    ``round_accuracies`` must be the accuracies the round's Stage I ran
+    with (pre-update); ``scored`` the round's scored-row mask, which is
+    pure boolean logic and therefore already bitwise across backends.
+    Reproduces the serial reducer exactly: scalar per-item posteriors,
+    deduplicated per triple, summed in canonical order.
+    """
+    accuracy_of: dict[ProvKey, float] = dict(
+        zip(cols.provenances, round_accuracies.tolist())
+    )
+    rank = cols.canonical_rank()
+    item_cache: dict[int, dict[Triple, float]] = {}
+    exact: dict[int, float] = {}
+    for p in boundary_provs:
+        rows = cols.prov_rows[cols.prov_ptr[p] : cols.prov_ptr[p + 1]]
+        rows = rows[scored[rows]]
+        if rows.size == 0:
+            continue
+        ordered = rows[np.argsort(rank[rows], kind="stable")]
+        total = 0.0
+        for r in ordered.tolist():
+            item = int(cols.row_item[r])
+            posteriors = item_cache.get(item)
+            if posteriors is None:
+                posteriors = _scalar_item_posteriors(
+                    cols, posterior_fn, accuracy_of, active, item
+                )
+                item_cache[item] = posteriors
+            total += posteriors[cols.triples[r]]
+        exact[int(p)] = total / int(ordered.size)
+    return exact
+
+
 def make_executor(config: FusionConfig, backend: str) -> Executor:
-    if backend == "parallel":
+    if backend in ("parallel", "hybrid"):
         return ParallelExecutor(max_workers=config.n_workers)
     return SerialExecutor()
 
@@ -269,22 +406,21 @@ def run_bayesian_fusion(
             requested,
             backend_used="serial (vectorized fallback)",
         )
-    if requested == "parallel":
+    if requested in ("parallel", "hybrid"):
         cols = matrix.columnar()
-        if sampling_would_engage(cols, config):
-            # The sampled reducer inputs are defined by the scalar
-            # dataflow's value order, which the columnar shuffle does not
-            # reproduce; the serial reference is the defined behaviour.
-            return _run_mapreduce(
-                matrix,
-                config,
-                item_posterior_fn,
-                method_name,
-                gold_labels,
-                track_rounds,
-                requested,
-                backend_used="serial (parallel fallback)",
-            )
+        # Hybrid runs batched kernels per shard; without a batched form,
+        # or when per-item sampling must engage (batched kernels score
+        # whole rounds), it degrades to the scalar parallel shards —
+        # which handle canonical-order sampling themselves — never to
+        # the in-process serial reference.
+        hybrid = (
+            requested == "hybrid"
+            and hasattr(item_posterior_fn, "batch_round")
+            and not sampling_would_engage(cols, config)
+        )
+        backend_used = requested if hybrid or requested == "parallel" else (
+            "parallel (hybrid fallback)"
+        )
         return _run_parallel_columnar(
             matrix,
             cols,
@@ -295,6 +431,8 @@ def run_bayesian_fusion(
             track_rounds,
             requested,
             executor=executor,
+            hybrid=hybrid,
+            backend_used=backend_used,
         )
     return _run_mapreduce(
         matrix,
@@ -407,6 +545,8 @@ def _run_mapreduce(
             "n_active_final": len(active_set(rounds_run)),
             "backend": requested,
             "backend_used": backend_used,
+            "parity": parity_of(backend_used),
+            "sampling": sampling_contract_of(config),
             **fallback_diagnostics,
         },
     )
@@ -469,15 +609,22 @@ def _run_parallel_columnar(
     track_rounds: bool,
     requested: str,
     executor: Executor | None = None,
+    hybrid: bool = False,
+    backend_used: str = "parallel",
 ) -> FusionResult:
     """The columnar-shuffle path (see :mod:`repro.fusion.shuffle`).
 
     Accuracy state lives in a float64 array indexed by provenance id and
     crosses the process boundary as a contiguous buffer once per job; the
-    claim columns are pool-resident.  Workers run the scalar posterior
-    kernels over claims dicts rebuilt from the columns, so every float
-    operation matches the serial reference bit-for-bit — on fork and
-    spawn pools alike, because the kernels sum in canonical order.
+    claim columns are pool-resident.  With ``hybrid=False`` workers run
+    the scalar posterior kernels over claims dicts rebuilt from the
+    columns — every float operation matches the serial reference
+    bit-for-bit, on fork and spawn pools alike, because the kernels sum
+    in canonical order (sampling included: the shards re-draw the
+    canonical-order subsets).  With ``hybrid=True`` workers run one
+    batched numpy kernel call per shard over a slice of the resident
+    columns — tolerance parity, scalar wall-clock divided by the worker
+    count.
     """
     owns_executor = executor is None
     if executor is None:
@@ -517,26 +664,59 @@ def _run_parallel_columnar(
         for round_index in range(config.max_rounds):
             active = active_mask(round_index)
             require_repeated = config.filter_by_coverage and round_index == 0
-            per_item = executor.run_map(
-                range(cols.n_items),
-                shuffle.stage1_job(
+            if hybrid:
+                job1 = shuffle.hybrid_stage1_job(
                     "fusion.stage1",
                     cols,
                     item_posterior_fn,
                     accuracies,
                     active,
                     require_repeated,
-                ),
-            )
+                )
+            else:
+                job1 = shuffle.stage1_job(
+                    "fusion.stage1",
+                    cols,
+                    item_posterior_fn,
+                    accuracies,
+                    active,
+                    require_repeated,
+                    sample_limit=config.sample_limit,
+                    seed=config.seed,
+                )
+            per_item = executor.run_map(range(cols.n_items), job1)
             posteriors, posteriors_arr, scored = shuffle.merge_stage1_outputs(
                 cols, per_item
             )
-            new_accuracies = executor.run_map(
-                range(n_provs),
-                shuffle.stage2_job(
+            if hybrid:
+                job2 = shuffle.hybrid_stage2_job(
                     "fusion.stage2", cols, posteriors_arr, scored, active
-                ),
-            )
+                )
+            else:
+                job2 = shuffle.stage2_job(
+                    "fusion.stage2",
+                    cols,
+                    posteriors_arr,
+                    scored,
+                    active,
+                    sample_limit=config.sample_limit,
+                    seed=config.seed,
+                )
+            new_accuracies = executor.run_map(range(n_provs), job2)
+            if hybrid and config.min_accuracy is not None:
+                # Keep every θ-filter decision bitwise: see THETA_RESCUE_BAND.
+                boundary = [
+                    p
+                    for p, accuracy in enumerate(new_accuracies)
+                    if accuracy is not None
+                    and abs(accuracy - config.min_accuracy) <= THETA_RESCUE_BAND
+                ]
+                if boundary:
+                    rescued = _exact_boundary_accuracies(
+                        cols, item_posterior_fn, accuracies, active, scored, boundary
+                    )
+                    for p, value in rescued.items():
+                        new_accuracies[p] = value
             delta = 0.0
             for p, accuracy in enumerate(new_accuracies):
                 if accuracy is None:
@@ -581,7 +761,9 @@ def _run_parallel_columnar(
             "gold_initialized": gold_initialized,
             "n_active_final": int(active_mask(rounds_run).sum()),
             "backend": requested,
-            "backend_used": "parallel",
+            "backend_used": backend_used,
+            "parity": parity_of(backend_used),
+            "sampling": sampling_contract_of(config),
             **fallback_diagnostics,
         },
     )
@@ -642,6 +824,17 @@ def _run_vectorized(
         require_repeated = config.filter_by_coverage and round_index == 0
         round_result = kernel.batch_round(cols, accuracies, active, require_repeated)
         new_acc, updated = kernels.stage2_accuracies(cols, round_result, active)
+        if config.min_accuracy is not None:
+            # Keep every θ-filter decision bitwise: see THETA_RESCUE_BAND.
+            boundary = np.flatnonzero(
+                updated & (np.abs(new_acc - config.min_accuracy) <= THETA_RESCUE_BAND)
+            )
+            if boundary.size:
+                rescued = _exact_boundary_accuracies(
+                    cols, kernel, accuracies, active, round_result.scored, boundary
+                )
+                for p, value in rescued.items():
+                    new_acc[p] = value
         delta = (
             float(np.max(np.abs(new_acc - accuracies)[updated]))
             if updated.any()
@@ -698,6 +891,8 @@ def _run_vectorized(
             "n_active_final": int(active_mask(rounds_run).sum()),
             "backend": requested,
             "backend_used": "vectorized",
+            "parity": parity_of("vectorized"),
+            "sampling": sampling_contract_of(config),
         },
     )
     if track_rounds:

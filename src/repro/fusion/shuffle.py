@@ -24,19 +24,45 @@ canonical columnar form (:class:`~repro.fusion.observations.ColumnarClaims`
   (:class:`~repro.mapreduce.executors.ShardedMapJob` / ``run_map``), the
   same codec layer extraction shards use.
 
-**Bit-identity.**  Workers rebuild each data item's
-``dict[Triple, set[ProvKey]]`` from the resident columns and call the
-*scalar* posterior kernel — the identical float operations the serial
-backend performs, in the identical order, because the scalar kernels sum
-in canonical (sorted) order rather than set-iteration order.  That makes
-serial, fork-parallel and spawn-parallel output bit-identical at any
-worker count, independent of ``PYTHONHASHSEED``.
+Two shard families share that wire format:
 
-The one scalar behaviour the columnar shuffle cannot reproduce is
-reducer-input *sampling* (the paper's ``L``): the sampled subsets are
-defined in terms of the scalar dataflow's value order.  When sampling
-would engage, the runner falls back to the in-process serial reference —
-exactly as the vectorized backend does.
+- the **scalar shards** (:class:`Stage1ColumnarShard` /
+  :class:`Stage2ColumnarShard`) rebuild each data item's
+  ``dict[Triple, set[ProvKey]]`` from the resident columns and call the
+  *scalar* posterior kernel — the ``parallel`` backend;
+- the **hybrid shards** (:class:`HybridStage1Shard` /
+  :class:`HybridStage2Shard`) slice the resident columns
+  (:meth:`~repro.fusion.observations.ColumnarClaims.slice_items`) and run
+  the *batched* numpy kernels of :mod:`repro.fusion.kernels` — one
+  vectorized kernel call per shard instead of N scalar per-item updates,
+  multiplying the ~40x kernel win by the worker count.
+
+**The parity contract.**  The scalar shards perform the identical float
+operations the serial backend performs, in the identical order, because
+the scalar kernels sum in canonical (sorted) order rather than
+set-iteration order.  That makes serial, fork-parallel and spawn-parallel
+output **bit-identical** at any worker count, independent of
+``PYTHONHASHSEED`` (a ``spawn`` worker draws its own hash seed; summing in
+set order would leak it into the last ulp).  The hybrid shards instead
+honour the **tolerance** contract
+(:data:`repro.fusion.base.PARITY_TOLERANCE_ABS`, 1e-9 absolute): numpy's
+``reduceat``/pairwise summation visits the same addends in a different
+order, so results match the scalar reference only to ~1e-12.  Which
+contract a run honoured is recorded in
+``result.diagnostics["parity"]`` (``"bitwise"`` | ``"tolerance"``).
+
+**Canonical-order sampling.**  Reducer-input sampling (the paper's ``L``)
+is defined in canonical order: a key's values are put in sorted order —
+``(triple, provenance)`` for Stage I, canonical triple order for Stage II
+— before the deterministic positional draw
+(:func:`~repro.mapreduce.executors.sample_positions`).  The columnar CSR
+layout *is* that order (items hold triples sorted canonically, each row's
+provenances sorted), so the scalar shards re-draw identical subsets
+against the resident columns and sampled parallel runs stay bit-identical
+to serial — the old degrade-to-``"serial (parallel fallback)"`` behaviour
+is gone.  The batched hybrid kernels cannot subset per item, so under
+sampling pressure the runner swaps hybrid's Stage I/II jobs for the
+scalar shards (``backend_used == "parallel (hybrid fallback)"``).
 """
 
 from __future__ import annotations
@@ -46,17 +72,26 @@ from typing import Callable
 
 import numpy as np
 
-from repro.fusion.observations import ColumnarClaims, ProvKey
+from repro.fusion.observations import ColumnarClaims, ProvKey, ragged_gather
 from repro.kb.triples import Triple
-from repro.mapreduce.executors import Executor, ShardedMapJob, worker_state
+from repro.mapreduce.executors import (
+    Executor,
+    ShardedMapJob,
+    sample_positions,
+    worker_state,
+)
 
 __all__ = [
     "FUSION_COLUMNS_KEY",
     "install_fusion_columns",
     "Stage1ColumnarShard",
     "Stage2ColumnarShard",
+    "HybridStage1Shard",
+    "HybridStage2Shard",
     "stage1_job",
     "stage2_job",
+    "hybrid_stage1_job",
+    "hybrid_stage2_job",
     "merge_stage1_outputs",
 ]
 
@@ -79,7 +114,7 @@ def install_fusion_columns(executor: Executor, cols: ColumnarClaims) -> None:
 
 @dataclass(frozen=True)
 class Stage1ColumnarShard:
-    """One Stage-I dispatch: score a shard of data items.
+    """One scalar Stage-I dispatch: score a shard of data items.
 
     Pickled once per job; carries only the round state — the accuracy
     vector and active mask as contiguous numpy buffers — plus the
@@ -89,15 +124,27 @@ class Stage1ColumnarShard:
     Each item's output is a list of ``(row_id, posterior)`` pairs (empty
     when the item is filtered), satisfying the one-output-per-item
     ``run_map`` contract.
+
+    When the sampling bound engages for an item, its active claims are
+    subset by the canonical-order draw: the columnar claim order (rows
+    canonically sorted within the item, provenances sorted within each
+    row) is exactly the serial reducer's sorted value order, and the
+    positional draw depends only on ``(seed, name, item key)`` — so the
+    sampled subset, and therefore the posterior floats, match the serial
+    reference bit-for-bit.
     """
 
     posterior_fn: Callable
     accuracies: np.ndarray  # float64 per provenance id
     active: np.ndarray  # bool per provenance id
     require_repeated: bool
+    name: str = "fusion.stage1"
+    sample_limit: int | None = None
+    seed: int = 0
 
     def __call__(self, item_ids: list[int]) -> list[list[tuple[int, float]]]:
         cols: ColumnarClaims = worker_state(FUSION_COLUMNS_KEY)
+        items = cols.items
         provenances = cols.provenances
         triples = cols.triples
         item_ptr, row_ptr = cols.item_ptr, cols.row_ptr
@@ -110,7 +157,7 @@ class Stage1ColumnarShard:
         for j in item_ids:
             claims: dict[Triple, set[ProvKey]] = {}
             kept_rows: list[int] = []
-            repeated = False
+            n_active = 0
             for r in range(item_ptr[j], item_ptr[j + 1]):
                 provs = {
                     provenances[p]
@@ -120,8 +167,35 @@ class Stage1ColumnarShard:
                 if provs:
                     claims[triples[r]] = provs
                     kept_rows.append(int(r))
-                    repeated = repeated or len(provs) >= 2
-            if not claims or (self.require_repeated and not repeated):
+                    n_active += len(provs)
+            if not claims:
+                outputs.append([])
+                continue
+            if self.sample_limit is not None and n_active > self.sample_limit:
+                positions = sample_positions(
+                    n_active,
+                    items[j].canonical(),
+                    self.name,
+                    self.sample_limit,
+                    self.seed,
+                )
+                # Enumerate the item's active claims in canonical order —
+                # the columnar layout order — and keep the drawn subset.
+                pairs = [
+                    (r, prov)
+                    for r in kept_rows
+                    for prov in sorted(claims[triples[r]])
+                ]
+                claims, kept_rows = {}, []
+                for i in positions:
+                    r, prov = pairs[i]
+                    if triples[r] not in claims:
+                        claims[triples[r]] = set()
+                        kept_rows.append(r)
+                    claims[triples[r]].add(prov)
+            if self.require_repeated and not any(
+                len(provs) >= 2 for provs in claims.values()
+            ):
                 outputs.append([])
                 continue
             posteriors = self.posterior_fn(claims, accuracy_of)
@@ -131,7 +205,7 @@ class Stage1ColumnarShard:
 
 @dataclass(frozen=True)
 class Stage2ColumnarShard:
-    """One Stage-II dispatch: re-estimate a shard of provenance accuracies.
+    """One scalar Stage-II dispatch: re-estimate a shard of accuracies.
 
     Shard items are integer provenance ids; the round's posteriors and
     scored mask cross once per job as contiguous buffers.  Output per
@@ -139,11 +213,19 @@ class Stage2ColumnarShard:
     summed in canonical triple order — bit-identical to the serial
     Stage-II reducer) or None when the provenance is inactive or scored
     nothing this round, mirroring the keys the serial reducer emits.
+
+    Sampling follows the same canonical-order contract as Stage I: the
+    provenance's scored rows are ordered by the resident canonical triple
+    ranking (the serial reducer's ``sorted(seen)`` order) before the
+    positional draw, so sampled means match serial bit-for-bit.
     """
 
     posteriors: np.ndarray  # float64 per row (meaningful where scored)
     scored: np.ndarray  # bool per row
     active: np.ndarray  # bool per provenance id
+    name: str = "fusion.stage2"
+    sample_limit: int | None = None
+    seed: int = 0
 
     def __call__(self, prov_ids: list[int]) -> list[float | None]:
         cols: ColumnarClaims = worker_state(FUSION_COLUMNS_KEY)
@@ -159,11 +241,95 @@ class Stage2ColumnarShard:
                 outputs.append(None)
                 continue
             ordered = rows[np.argsort(rank[rows], kind="stable")]
+            positions = sample_positions(
+                int(ordered.size),
+                cols.provenances[p],
+                self.name,
+                self.sample_limit,
+                self.seed,
+            )
+            if positions is not None:
+                ordered = ordered[np.asarray(positions, dtype=np.int64)]
             total = 0.0
             for value in self.posteriors[ordered].tolist():
                 total += value
-            outputs.append(total / int(rows.size))
+            outputs.append(total / int(ordered.size))
         return outputs
+
+
+@dataclass(frozen=True)
+class HybridStage1Shard:
+    """One hybrid Stage-I dispatch: one batched kernel call per shard.
+
+    The kernel must expose ``batch_round`` (the built-in
+    ``AccuKernel``/``PopAccuKernel``/``VoteKernel`` do); it runs over a
+    :class:`~repro.fusion.observations.ColumnarSlice` of the
+    pool-resident columns, replacing the shard's per-item Python loop
+    with a fixed number of array operations.  Wire format is identical to
+    the scalar shard — ``(row_id, posterior)`` pairs per item — so the
+    parent-side merge is shared; only the float summation order differs
+    (tolerance parity, not bitwise).
+    """
+
+    kernel: Callable  # must expose batch_round(cols, acc, active, repeated)
+    accuracies: np.ndarray  # float64 per provenance id
+    active: np.ndarray  # bool per provenance id
+    require_repeated: bool
+
+    def __call__(self, item_ids: list[int]) -> list[list[tuple[int, float]]]:
+        cols: ColumnarClaims = worker_state(FUSION_COLUMNS_KEY)
+        part = cols.slice_items(item_ids)
+        round_result = self.kernel.batch_round(
+            part, self.accuracies, self.active, self.require_repeated
+        )
+        scored = round_result.scored
+        posteriors = round_result.posteriors
+        outputs: list[list[tuple[int, float]]] = []
+        for i in range(part.n_items):
+            begin, end = part.item_ptr[i], part.item_ptr[i + 1]
+            outputs.append(
+                [
+                    (int(part.rows[r]), float(posteriors[r]))
+                    for r in range(begin, end)
+                    if scored[r]
+                ]
+            )
+        return outputs
+
+
+@dataclass(frozen=True)
+class HybridStage2Shard:
+    """One hybrid Stage-II dispatch: batched accuracy re-estimation.
+
+    Gathers the shard provenances' supported rows from the transposed CSR
+    in one set of array operations and reduces mean scored-triple
+    posteriors with ``np.add.reduceat`` — the shard-local equivalent of
+    :func:`repro.fusion.kernels.stage2_accuracies`.  Summation runs in
+    row-id order rather than canonical triple order, hence tolerance (not
+    bitwise) parity.
+    """
+
+    posteriors: np.ndarray  # float64 per row (meaningful where scored)
+    scored: np.ndarray  # bool per row
+    active: np.ndarray  # bool per provenance id
+
+    def __call__(self, prov_ids: list[int]) -> list[float | None]:
+        cols: ColumnarClaims = worker_state(FUSION_COLUMNS_KEY)
+        ids = np.asarray(prov_ids, dtype=np.int64)
+        counts = cols.prov_ptr[ids + 1] - cols.prov_ptr[ids]
+        ptr = np.zeros(len(ids) + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        # Every provenance supports >= 1 row by construction, so no
+        # reduceat segment is empty.
+        rows = cols.prov_rows[ragged_gather(cols.prov_ptr[ids], counts)]
+        scored_here = self.scored[rows]
+        contrib = np.where(scored_here, self.posteriors[rows], 0.0)
+        sums = np.add.reduceat(contrib, ptr[:-1])
+        ns = np.add.reduceat(scored_here.astype(np.float64), ptr[:-1])
+        return [
+            float(sums[i] / ns[i]) if self.active[p] and ns[i] > 0 else None
+            for i, p in enumerate(ids)
+        ]
 
 
 def stage1_job(
@@ -173,8 +339,10 @@ def stage1_job(
     accuracies: np.ndarray,
     active: np.ndarray,
     require_repeated: bool,
+    sample_limit: int | None = None,
+    seed: int = 0,
 ) -> ShardedMapJob:
-    """The Stage-I round as a map-only job over item ids.
+    """The scalar Stage-I round as a map-only job over item ids.
 
     ``key_fn`` resolves the item's canonical key in the parent (it never
     pickles), so shard assignment matches the stable crc32 partitioning
@@ -187,6 +355,9 @@ def stage1_job(
             accuracies=np.array(accuracies, dtype=np.float64),
             active=np.array(active, dtype=bool),
             require_repeated=require_repeated,
+            name=name,
+            sample_limit=sample_limit,
+            seed=seed,
         ),
         key_fn=lambda j: cols.items[j].canonical(),
     )
@@ -198,11 +369,56 @@ def stage2_job(
     posteriors: np.ndarray,
     scored: np.ndarray,
     active: np.ndarray,
+    sample_limit: int | None = None,
+    seed: int = 0,
 ) -> ShardedMapJob:
-    """The Stage-II round as a map-only job over provenance ids."""
+    """The scalar Stage-II round as a map-only job over provenance ids."""
     return ShardedMapJob(
         name=name,
         map_shard=Stage2ColumnarShard(
+            posteriors=posteriors,
+            scored=scored,
+            active=np.array(active, dtype=bool),
+            name=name,
+            sample_limit=sample_limit,
+            seed=seed,
+        ),
+        key_fn=lambda p: cols.provenances[p],
+    )
+
+
+def hybrid_stage1_job(
+    name: str,
+    cols: ColumnarClaims,
+    kernel: Callable,
+    accuracies: np.ndarray,
+    active: np.ndarray,
+    require_repeated: bool,
+) -> ShardedMapJob:
+    """The hybrid Stage-I round: batched kernels per shard of item ids."""
+    return ShardedMapJob(
+        name=name,
+        map_shard=HybridStage1Shard(
+            kernel=kernel,
+            accuracies=np.array(accuracies, dtype=np.float64),
+            active=np.array(active, dtype=bool),
+            require_repeated=require_repeated,
+        ),
+        key_fn=lambda j: cols.items[j].canonical(),
+    )
+
+
+def hybrid_stage2_job(
+    name: str,
+    cols: ColumnarClaims,
+    posteriors: np.ndarray,
+    scored: np.ndarray,
+    active: np.ndarray,
+) -> ShardedMapJob:
+    """The hybrid Stage-II round: batched reduce per shard of prov ids."""
+    return ShardedMapJob(
+        name=name,
+        map_shard=HybridStage2Shard(
             posteriors=posteriors, scored=scored, active=np.array(active, dtype=bool)
         ),
         key_fn=lambda p: cols.provenances[p],

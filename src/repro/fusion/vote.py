@@ -10,10 +10,12 @@ methods).
 Backends: ``serial`` runs the scalar reducers in-process; ``parallel``
 runs Stage I through the columnar shuffle (:mod:`repro.fusion.shuffle`) —
 pool-resident claim columns, integer-id shard payloads, bit-identical to
-serial on fork and spawn; ``vectorized`` computes all ``m/n`` ratios in
-one numpy pass over the columnar claim index.  Both the parallel and
-vectorized paths fall back to ``serial`` when reducer-input sampling
-would engage (the sampled subsets are defined by the scalar dataflow).
+serial on fork and spawn, including under canonical-order reducer-input
+sampling; ``vectorized`` computes all ``m/n`` ratios in one numpy pass
+over the columnar claim index; ``hybrid`` runs that batched kernel inside
+each parallel shard.  The vectorized path falls back to ``serial`` — and
+the hybrid path to the scalar ``parallel`` shards — when sampling would
+engage (batched kernels score whole rounds and cannot subset per item).
 """
 
 from __future__ import annotations
@@ -21,13 +23,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fusion import kernels, shuffle
-from repro.fusion.base import Fuser, FusionResult
+from repro.fusion.base import Fuser, FusionResult, parity_of, sampling_contract_of
 from repro.fusion.observations import ColumnarClaims, FusionInput, ProvKey
 from repro.fusion.runner import (
     Stage1Reducer,
     make_executor,
     sampling_would_engage,
     stage1_mapper,
+    stage1_sample_key,
 )
 from repro.kb.triples import Triple
 from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
@@ -90,11 +93,12 @@ class Vote(Fuser):
             if not sampling_would_engage(cols, self.config, include_stage2=False):
                 return self._fuse_vectorized(cols)
             backend_used = "serial (vectorized fallback)"
-        elif self.config.backend == "parallel":
+        elif self.config.backend in ("parallel", "hybrid"):
             cols = matrix.columnar()
-            if not sampling_would_engage(cols, self.config, include_stage2=False):
-                return self._fuse_columnar(cols, executor)
-            backend_used = "serial (parallel fallback)"
+            hybrid = self.config.backend == "hybrid" and not sampling_would_engage(
+                cols, self.config, include_stage2=False
+            )
+            return self._fuse_columnar(cols, executor, hybrid=hybrid)
         return self._fuse_mapreduce(matrix, backend_used)
 
     def _fuse_vectorized(self, cols: ColumnarClaims) -> FusionResult:
@@ -107,35 +111,61 @@ class Vote(Fuser):
             },
             rounds=0,
             converged=True,
-            diagnostics={"backend": "vectorized", "backend_used": "vectorized"},
+            diagnostics={
+                "backend": "vectorized",
+                "backend_used": "vectorized",
+                "parity": parity_of("vectorized"),
+                "sampling": sampling_contract_of(self.config),
+            },
         )
         result.validate()
         return result
 
-    def _fuse_columnar(self, cols: ColumnarClaims, executor=None) -> FusionResult:
-        """Stage I through the columnar shuffle (bit-identical to serial).
+    def _fuse_columnar(
+        self, cols: ColumnarClaims, executor=None, hybrid: bool = False
+    ) -> FusionResult:
+        """Stage I through the columnar shuffle.
 
         Rows are already unique triples, so the serial path's Stage-III
         dedup is structurally a no-op here: the per-row ``m/n`` ratios are
-        the final probabilities.
+        the final probabilities.  Scalar shards (``hybrid=False``) are
+        bit-identical to serial — sampling included, via the
+        canonical-order draw; hybrid shards run the batched ``m/n`` kernel
+        per shard at tolerance parity.
         """
+        if hybrid:
+            backend_used = "hybrid"
+        elif self.config.backend == "hybrid":
+            backend_used = "parallel (hybrid fallback)"
+        else:
+            backend_used = "parallel"
         owns_executor = executor is None
         if executor is None:
             executor = make_executor(self.config, "parallel")
         shuffle.install_fusion_columns(executor, cols)
         n_provs = len(cols.provenances)
-        try:
-            per_item = executor.run_map(
-                range(cols.n_items),
-                shuffle.stage1_job(
-                    "vote.stage1",
-                    cols,
-                    VoteKernel(),
-                    np.zeros(n_provs, dtype=np.float64),
-                    np.ones(n_provs, dtype=bool),
-                    require_repeated=False,
-                ),
+        if hybrid:
+            job = shuffle.hybrid_stage1_job(
+                "vote.stage1",
+                cols,
+                VoteKernel(),
+                np.zeros(n_provs, dtype=np.float64),
+                np.ones(n_provs, dtype=bool),
+                require_repeated=False,
             )
+        else:
+            job = shuffle.stage1_job(
+                "vote.stage1",
+                cols,
+                VoteKernel(),
+                np.zeros(n_provs, dtype=np.float64),
+                np.ones(n_provs, dtype=bool),
+                require_repeated=False,
+                sample_limit=self.config.sample_limit,
+                seed=self.config.seed,
+            )
+        try:
+            per_item = executor.run_map(range(cols.n_items), job)
             fallback_diagnostics = (
                 {
                     "fallbacks_tiny": executor.fallbacks_tiny,
@@ -155,7 +185,9 @@ class Vote(Fuser):
             converged=True,
             diagnostics={
                 "backend": self.config.backend,
-                "backend_used": "parallel",
+                "backend_used": backend_used,
+                "parity": parity_of(backend_used),
+                "sampling": sampling_contract_of(self.config),
                 **fallback_diagnostics,
             },
         )
@@ -178,6 +210,7 @@ class Vote(Fuser):
             reducer=Stage1Reducer(VoteKernel(), {}, require_repeated=False),
             sample_limit=self.config.sample_limit,
             seed=self.config.seed,
+            sample_key=stage1_sample_key,
         )
         try:
             scored = engine.run(claims, stage1)
@@ -196,7 +229,12 @@ class Vote(Fuser):
             probabilities={triple: float(p) for triple, p in deduped},
             rounds=0,
             converged=True,
-            diagnostics={"backend": self.config.backend, "backend_used": backend_used},
+            diagnostics={
+                "backend": self.config.backend,
+                "backend_used": backend_used,
+                "parity": parity_of(backend_used),
+                "sampling": sampling_contract_of(self.config),
+            },
         )
         result.validate()
         return result

@@ -48,6 +48,16 @@ class MapReduceJob:
     ``sample_limit`` bounds the number of values any reducer sees for one
     key (None = unbounded); sampling is deterministic in ``seed`` and the
     key, so re-running the job reproduces the result exactly.
+
+    ``sample_key`` opts the job into the *canonical-order sampling
+    contract*: when sampling engages for a key, its values are first
+    sorted by this key, so the sampled subset is a function of the value
+    *set* rather than the arrival order.  Jobs whose sampled subsets must
+    be reproducible by sharded backends that enumerate values in a
+    different (but canonically sortable) order — the fusion stages over
+    the columnar shuffle — must set it; ``None`` keeps the legacy
+    value-order draw.  The callable must be picklable (module-level) so
+    parallel reduce shards can apply it in workers.
     """
 
     name: str
@@ -55,6 +65,7 @@ class MapReduceJob:
     reducer: Reducer
     sample_limit: int | None = None
     seed: int = 0
+    sample_key: Callable[[Any], Any] | None = None
 
     def __post_init__(self) -> None:
         if self.sample_limit is not None and self.sample_limit < 1:
@@ -87,4 +98,6 @@ class MapReduceEngine:
     @staticmethod
     def sample_values(values: list, key: Any, job: MapReduceJob) -> list:
         """Deterministic per-key sample of reducer input (the paper's L)."""
-        return sample_values(values, key, job.name, job.sample_limit, job.seed)
+        return sample_values(
+            values, key, job.name, job.sample_limit, job.seed, job.sample_key
+        )

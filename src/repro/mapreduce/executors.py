@@ -76,6 +76,7 @@ __all__ = [
     "shard_for_key",
     "map_serial",
     "reduce_serial",
+    "sample_positions",
     "worker_state",
 ]
 
@@ -138,19 +139,52 @@ def map_and_shuffle(records: Iterable[Any], mapper: Callable) -> dict[Any, list]
     return groups
 
 
+def sample_positions(
+    n_values: int, key: Any, name: str, sample_limit: int | None, seed: int
+) -> list[int] | None:
+    """The deterministic position draw behind reducer-input sampling (L).
+
+    Returns the ascending positions to keep out of ``n_values`` ordered
+    values, or None when sampling does not engage.  The draw depends only
+    on ``(seed, name, repr(key))`` and ``n_values`` — never on where the
+    values live — so any backend that can enumerate a key's values *in the
+    same order* reproduces the same subset bit-for-bit.  The fusion stages
+    pin that order to the canonical (sorted) one via ``sample_key``; the
+    columnar shard workers re-draw these positions against the
+    pool-resident columns (whose layout *is* the canonical order) instead
+    of falling back to serial.
+    """
+    if sample_limit is None or n_values <= sample_limit:
+        return None
+    rng = np.random.default_rng(split_seed(seed, name, repr(key)))
+    picked = rng.choice(n_values, size=sample_limit, replace=False)
+    return sorted(int(x) for x in picked)
+
+
 def sample_values(
-    values: list, key: Any, name: str, sample_limit: int | None, seed: int
+    values: list,
+    key: Any,
+    name: str,
+    sample_limit: int | None,
+    seed: int,
+    sample_key: Callable[[Any], Any] | None = None,
 ) -> list:
     """Deterministic per-key sample of reducer input (the paper's L).
 
-    The sample depends only on ``(seed, name, key)`` and the value order,
-    so serial and parallel backends pick identical subsets.
+    Without ``sample_key`` the sample depends on ``(seed, name, key)`` and
+    the *value order* — historically the scalar dataflow's arrival order,
+    which no sharded backend can reproduce.  With ``sample_key`` the values
+    are put in canonical order before the positional draw, making the
+    sampled subset a property of the key's value *set*: any backend that
+    enumerates the same values canonically (the columnar shuffle does, by
+    construction of its sorted CSR layout) picks the identical subset.
     """
-    if sample_limit is None or len(values) <= sample_limit:
+    positions = sample_positions(len(values), key, name, sample_limit, seed)
+    if positions is None:
         return values
-    rng = np.random.default_rng(split_seed(seed, name, repr(key)))
-    picked = rng.choice(len(values), size=sample_limit, replace=False)
-    return [values[i] for i in sorted(int(x) for x in picked)]
+    if sample_key is not None:
+        values = sorted(values, key=sample_key)
+    return [values[i] for i in positions]
 
 
 def shard_for_key(key: Any, n_shards: int) -> int:
@@ -166,6 +200,7 @@ class _ReduceSpec:
     reducer: Callable
     sample_limit: int | None
     seed: int
+    sample_key: Callable | None = None
 
 
 def _reduce_shard(
@@ -181,7 +216,9 @@ def _reduce_shard(
     spec: _ReduceSpec = pickle.loads(spec_bytes)
     outputs: list[tuple[Any, list]] = []
     for key, values in items:
-        sampled = sample_values(values, key, spec.name, spec.sample_limit, spec.seed)
+        sampled = sample_values(
+            values, key, spec.name, spec.sample_limit, spec.seed, spec.sample_key
+        )
         outputs.append((key, list(spec.reducer(key, sampled))))
     return outputs
 
@@ -260,10 +297,11 @@ def map_serial(items: list, job: ShardedMapJob) -> list:
 
 def reduce_serial(groups: dict[Any, list], job) -> list[Any]:
     """The reference reduce: sorted keys, per-key sampling, in-process."""
+    sample_key = getattr(job, "sample_key", None)
     outputs: list[Any] = []
     for key in sorted(groups):
         sampled = sample_values(
-            groups[key], key, job.name, job.sample_limit, job.seed
+            groups[key], key, job.name, job.sample_limit, job.seed, sample_key
         )
         outputs.extend(job.reducer(key, sampled))
     return outputs
@@ -448,6 +486,7 @@ class ParallelExecutor:
             reducer=job.reducer,
             sample_limit=job.sample_limit,
             seed=job.seed,
+            sample_key=getattr(job, "sample_key", None),
         )
         try:
             spec_bytes = pickle.dumps(spec)

@@ -196,7 +196,7 @@ def run_popaccu_tracked(backend, fusion_input):
 
 class TestConfigSurface:
     def test_backend_constants(self):
-        assert BACKENDS == ("serial", "parallel", "vectorized")
+        assert BACKENDS == ("serial", "parallel", "vectorized", "hybrid")
         assert FusionConfig().backend == "serial"
 
     def test_invalid_backend_rejected(self):

@@ -149,9 +149,10 @@ class TestFallbacks:
         )
         assert result.probabilities == reference.probabilities
 
-    def test_sampling_pressure_falls_back_to_serial(self, micro_scenario):
-        """Reducer-input sampling is defined by the scalar dataflow's
-        value order; the columnar shuffle must defer to it."""
+    def test_sampling_no_longer_falls_back_to_serial(self, micro_scenario):
+        """Canonical-order sampling: the shard workers re-draw the same
+        sampled subsets against the resident columns, so sampling no
+        longer degrades the parallel backend to the serial reference."""
         fusion_input = micro_scenario.fusion_input()
         serial = popaccu(FusionConfig(sample_limit=2, backend="serial")).fuse(
             fusion_input
@@ -159,12 +160,11 @@ class TestFallbacks:
         parallel = popaccu(FusionConfig(sample_limit=2, backend="parallel")).fuse(
             fusion_input
         )
-        assert (
-            parallel.diagnostics["backend_used"] == "serial (parallel fallback)"
-        )
+        assert parallel.diagnostics["backend_used"] == "parallel"
+        assert parallel.diagnostics["sampling"] == "canonical-order"
         assert_bit_identical(serial, parallel)
 
-    def test_vote_sampling_pressure_falls_back(self, micro_scenario):
+    def test_vote_sampling_no_longer_falls_back(self, micro_scenario):
         fusion_input = micro_scenario.fusion_input()
         serial = vote(FusionConfig(sample_limit=2, backend="serial")).fuse(
             fusion_input
@@ -172,9 +172,8 @@ class TestFallbacks:
         parallel = vote(FusionConfig(sample_limit=2, backend="parallel")).fuse(
             fusion_input
         )
-        assert (
-            parallel.diagnostics["backend_used"] == "serial (parallel fallback)"
-        )
+        assert parallel.diagnostics["backend_used"] == "parallel"
+        assert parallel.diagnostics["sampling"] == "canonical-order"
         assert parallel.probabilities == serial.probabilities
 
 

@@ -1,0 +1,42 @@
+"""The docs lint as a tier-1 test: README/ARCHITECTURE must not rot.
+
+Delegates to ``tools/docs_lint.py`` (the same checks CI runs as a
+standalone step) so a dead link, a documented-but-nonexistent
+``repro-kf`` subcommand, or an undocumented fusion backend fails the
+ordinary test run, not just CI.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_docs_lint():
+    spec = importlib.util.spec_from_file_location(
+        "docs_lint", REPO_ROOT / "tools" / "docs_lint.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("docs_lint", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDocsLint:
+    def test_links_resolve(self):
+        docs_lint = _load_docs_lint()
+        assert docs_lint.check_links() == []
+
+    def test_cli_docs_in_sync(self):
+        docs_lint = _load_docs_lint()
+        assert docs_lint.check_cli_sync() == []
+
+    def test_front_door_exists(self):
+        """The acceptance criterion verbatim: the front door files exist
+        and ROADMAP links them."""
+        assert (REPO_ROOT / "README.md").exists()
+        assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").exists()
+        roadmap = (REPO_ROOT / "ROADMAP.md").read_text()
+        assert "README.md" in roadmap
+        assert "ARCHITECTURE.md" in roadmap

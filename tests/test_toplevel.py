@@ -139,9 +139,10 @@ class TestCLIFuse:
     @pytest.mark.parallel_backend
     def test_fuse_backend_round_trip_identical_summary(self, capsys):
         """Numbers lines (rounds/triples/coverage/mean) must agree across
-        every backend — serial, parallel, vectorized."""
+        every backend — serial, parallel, vectorized, hybrid (the
+        tolerance backends' 1e-9 drift vanishes at 4-decimal display)."""
         summaries = {}
-        for backend in ("serial", "parallel", "vectorized"):
+        for backend in ("serial", "parallel", "vectorized", "hybrid"):
             assert (
                 main(["fuse", "popaccu", "--scale", "tiny", "--seed", "7",
                       "--backend", backend])
@@ -155,6 +156,19 @@ class TestCLIFuse:
             ]
         assert summaries["serial"] == summaries["parallel"]
         assert summaries["serial"] == summaries["vectorized"]
+        assert summaries["serial"] == summaries["hybrid"]
+
+    @pytest.mark.parallel_backend
+    def test_fuse_hybrid_reports_tolerance_parity(self, capsys):
+        assert (
+            main(["fuse", "popaccu+", "--scale", "tiny", "--seed", "7",
+                  "--backend", "hybrid", "--workers", "2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "backend:       hybrid" in out
+        assert "backend used:  hybrid" in out
+        assert "parity:        tolerance" in out
 
     def test_fuse_invalid_workers_exits_2(self, capsys):
         assert main(["fuse", "popaccu", "--workers", "0"]) == 2
@@ -191,7 +205,7 @@ class TestCLIPipeline:
     @pytest.mark.parallel_backend
     def test_pipeline_backend_round_trip_identical_metrics(self, capsys):
         metric_lines = {}
-        for backend in ("serial", "parallel"):
+        for backend in ("serial", "parallel", "hybrid"):
             assert (
                 main(["pipeline", "popaccu+", "--scale", "tiny", "--seed", "7",
                       "--backend", backend])
@@ -204,6 +218,21 @@ class TestCLIPipeline:
                                     "deviation:", "auc-pr:", "gold accuracy:"))
             ]
         assert metric_lines["serial"] == metric_lines["parallel"]
+        # Hybrid's 1e-9 tolerance drift is invisible at display precision.
+        assert metric_lines["serial"] == metric_lines["hybrid"]
+
+    @pytest.mark.parallel_backend
+    def test_pipeline_hybrid_reports_parity(self, capsys):
+        assert (
+            main(["pipeline", "popaccu+", "--scale", "tiny", "--seed", "7",
+                  "--backend", "hybrid", "--workers", "2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "backend:       hybrid" in out
+        assert "backend used:  hybrid" in out
+        assert "parity:        tolerance" in out
+        assert "workers:       2" in out
 
     def test_pipeline_unknown_scale_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,136 @@
+"""Docs lint: keep the documentation front door from rotting.
+
+Two classes of drift this catches, both run in CI and in the tier-1 suite
+(``tests/test_docs.py``):
+
+1. **Dead relative links** — every ``[text](target)`` in the tracked
+   markdown files must resolve to a file or directory in the tree
+   (anchors stripped; absolute URLs skipped).
+2. **CLI docs out of sync** — every ``repro-kf <subcommand>`` mention in
+   the docs must name a real subcommand of the argparse parser, every
+   fusion backend in ``repro.fusion.BACKENDS`` (and pipeline backend in
+   ``repro.endtoend.PIPELINE_BACKENDS``) must be documented in the README
+   backend matrix, and the README must mention every subcommand the CLI
+   actually exposes.
+
+Usage::
+
+    python tools/docs_lint.py        # exits non-zero with a report
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Markdown files whose relative links must resolve.
+LINKED_DOCS = (
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "ROADMAP.md",
+    "src/repro/mapreduce/README.md",
+)
+
+#: Docs whose ``repro-kf <subcommand>`` mentions must match the parser.
+CLI_DOCS = ("README.md", "docs/ARCHITECTURE.md")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CLI_MENTION = re.compile(r"repro-kf\s+([a-z][a-z0-9_-]*)")
+
+
+def check_links(root: Path = REPO_ROOT) -> list[str]:
+    """Every relative markdown link resolves to an existing path."""
+    errors: list[str] = []
+    for name in LINKED_DOCS:
+        doc = root / name
+        if not doc.exists():
+            errors.append(f"{name}: tracked doc is missing")
+            continue
+        for target in _LINK.findall(doc.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (doc.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                errors.append(f"{name}: dead link -> {target}")
+    return errors
+
+
+def _cli_surface() -> tuple[set[str], set[str], set[str]]:
+    """(subcommands, fusion backends, pipeline backends) from the code."""
+    from repro.cli import _build_parser
+    from repro.endtoend import PIPELINE_BACKENDS
+    from repro.fusion import BACKENDS
+
+    import argparse
+
+    subcommands: set[str] = set()
+    for action in _build_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            subcommands.update(action.choices)
+    return subcommands, set(BACKENDS), set(PIPELINE_BACKENDS)
+
+
+def check_cli_sync(root: Path = REPO_ROOT) -> list[str]:
+    """Doc'd subcommands exist; real subcommands and backends are doc'd."""
+    errors: list[str] = []
+    subcommands, backends, pipeline_backends = _cli_surface()
+
+    mentioned: set[str] = set()
+    for name in CLI_DOCS:
+        doc = root / name
+        if not doc.exists():
+            errors.append(f"{name}: tracked doc is missing")
+            continue
+        text = doc.read_text()
+        for token in _CLI_MENTION.findall(text):
+            mentioned.add(token)
+            if token not in subcommands:
+                errors.append(
+                    f"{name}: documents 'repro-kf {token}' but the CLI has "
+                    f"no such subcommand (has: {sorted(subcommands)})"
+                )
+
+    readme_path = root / "README.md"
+    if not readme_path.exists():
+        # Already reported as a missing tracked doc above.
+        return errors
+    readme = readme_path.read_text()
+    for subcommand in sorted(subcommands - mentioned):
+        errors.append(
+            f"README.md: CLI subcommand {subcommand!r} is undocumented"
+        )
+    for backend in sorted(backends):
+        if f"`{backend}`" not in readme:
+            errors.append(
+                f"README.md: fusion backend {backend!r} missing from the "
+                "backend matrix"
+            )
+    for backend in sorted(pipeline_backends):
+        if f"`{backend}`" not in readme:
+            errors.append(
+                f"README.md: pipeline backend {backend!r} undocumented"
+            )
+    return errors
+
+
+def run_lint(root: Path = REPO_ROOT) -> list[str]:
+    return check_links(root) + check_cli_sync(root)
+
+
+def main() -> int:
+    errors = run_lint()
+    if errors:
+        print(f"docs lint: {len(errors)} problem(s)")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print("docs lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
