@@ -1,0 +1,29 @@
+"""The pytest-benchmark face of the registry.
+
+One parametrized bench per registered case — the same bodies
+``benchmarks/run.py`` executes, timed by pytest-benchmark when the plugin
+is enabled.  Collect explicitly (benchmarks are excluded from the tier-1
+``testpaths``)::
+
+    PYTHONPATH=src python -m pytest benchmarks --benchmark-enable
+
+Every case asserts its parity contract before timing and persists its
+text report under ``benchmarks/results/`` exactly as the runner does; the
+``bench_context`` fixture (``conftest.py``) supplies the shared scenario
+cache and warm executor once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.registry import REGISTRY
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def bench_case(benchmark, bench_context, name):
+    case = REGISTRY[name]
+    report = benchmark.pedantic(
+        case.run, args=(bench_context,), rounds=1, iterations=1
+    )
+    assert report, f"case {name} returned an empty report"

@@ -1,41 +1,21 @@
 """Benchmark fixtures.
 
-All benches share one deterministic ``small``-scale scenario (~35K
-extraction records); it is built once per session.  Each bench regenerates
-one table/figure of the paper through the experiment registry, times it
-with pytest-benchmark, and writes the rendered rows/series to
-``benchmarks/results/<id>.txt`` so the numbers that back EXPERIMENTS.md
-are reproducible artifacts.
+All cases share one :class:`benchmarks.registry.BenchContext` per
+session: the deterministic ``small``-scale scenario is built once, and
+the parallel cases reuse a single warm process pool (released at session
+end).  Case bodies live in ``benchmarks/registry.py``; this conftest only
+wires them into pytest.
 """
 
 from __future__ import annotations
 
-from pathlib import Path
-
 import pytest
 
-from repro.datasets import build_scenario, small_config
+from benchmarks.registry import BenchContext
 
 
 @pytest.fixture(scope="session")
-def scenario():
-    return build_scenario(small_config(seed=0))
-
-
-@pytest.fixture(scope="session")
-def results_dir() -> Path:
-    path = Path(__file__).parent / "results"
-    path.mkdir(exist_ok=True)
-    return path
-
-
-def run_and_record(benchmark, scenario, results_dir, experiment_id: str):
-    """Shared bench body: time the experiment once, persist its report."""
-    from repro.experiments import run_experiment
-
-    result = benchmark.pedantic(
-        run_experiment, args=(experiment_id, scenario), rounds=1, iterations=1
-    )
-    (results_dir / f"{experiment_id}.txt").write_text(result.text + "\n")
-    assert result.data
-    return result
+def bench_context():
+    ctx = BenchContext(scale="small", seed=0)
+    yield ctx
+    ctx.close()

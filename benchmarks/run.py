@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""The benchmark runner: one entrypoint for every registered case.
+
+Usage::
+
+    python benchmarks/run.py --list
+    python benchmarks/run.py --case pipeline --scale tiny
+    python benchmarks/run.py --case backends --case sampling --workers 4
+    python benchmarks/run.py --all --scale small
+
+Each selected case runs against one shared :class:`BenchContext` — the
+scenario is built once per scale and every parallel case reuses a single
+warm worker pool — asserts its documented parity contract *before*
+timing, and writes a machine-readable envelope to
+``benchmarks/results/BENCH_<case>.json`` (alongside whatever text report
+the case itself persists, e.g. ``results/backends.txt`` or the per-figure
+``results/<id>.txt`` artifacts).
+
+The script is self-bootstrapping: it runs from a plain checkout (no
+``PYTHONPATH`` needed) and from an installed package alike.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+for _path in (str(_REPO_ROOT), str(_REPO_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from benchmarks.registry import REGISTRY, RESULTS_DIR, SCALES, BenchContext  # noqa: E402
+
+
+def _list_cases() -> None:
+    width = max(len(name) for name in REGISTRY)
+    for name in sorted(REGISTRY, key=lambda n: (REGISTRY[n].kind, n)):
+        case = REGISTRY[name]
+        print(f"{name:<{width}}  [{case.kind}]  {case.description}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run registered benchmark cases -> results/BENCH_<case>.json"
+    )
+    parser.add_argument(
+        "--case",
+        action="append",
+        default=None,
+        choices=sorted(REGISTRY),
+        metavar="NAME",
+        help="case to run (repeatable; see --list)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every registered case"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered cases and exit"
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="small",
+        help="scenario preset (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for the shared parallel executor (default: CPU count)",
+    )
+    parser.add_argument(
+        "--out-dir", type=Path, default=RESULTS_DIR,
+        help="where BENCH_<case>.json and text reports land",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        _list_cases()
+        return 0
+    names = args.case or (sorted(REGISTRY) if args.all else None)
+    if not names:
+        parser.error("select cases with --case NAME (repeatable) or --all")
+
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    ctx = BenchContext(
+        scale=args.scale,
+        seed=args.seed,
+        workers=args.workers,
+        results_dir=args.out_dir,
+    )
+    failures: list[str] = []
+    try:
+        for name in names:
+            case = REGISTRY[name]
+            start = time.perf_counter()
+            try:
+                report = case.run(ctx)
+            except AssertionError as error:
+                failures.append(name)
+                print(f"{name}: FAILED — {error}", file=sys.stderr)
+                continue
+            elapsed = time.perf_counter() - start
+            envelope = {
+                "case": name,
+                "kind": case.kind,
+                "scale": ctx.scale,
+                "seed": ctx.seed,
+                **ctx.environment(),
+                "elapsed_seconds": round(elapsed, 3),
+                "report": report,
+            }
+            out = args.out_dir / f"BENCH_{name}.json"
+            out.write_text(json.dumps(envelope, indent=2) + "\n")
+            print(f"{name}: {elapsed:.2f}s -> {out}")
+    finally:
+        ctx.close()
+    if failures:
+        print(f"{len(failures)} case(s) failed: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

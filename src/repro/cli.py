@@ -179,6 +179,8 @@ def _run_fuse(args) -> int:
     print(f"backend used:  {result.diagnostics.get('backend_used', 'serial')}")
     print(f"parity:        {result.diagnostics.get('parity', 'bitwise')}")
     print(f"sampling:      {result.diagnostics.get('sampling', 'unbounded')}")
+    if "round_state" in result.diagnostics:
+        print(f"round state:   {result.diagnostics['round_state']}")
     if "fallbacks_tiny" in result.diagnostics:
         print(
             f"fallbacks:     {result.diagnostics['fallbacks_tiny']} tiny, "
@@ -264,6 +266,8 @@ def _run_pipeline(args) -> int:
     print(f"backend used:  {diagnostics.get('backend_used', 'serial')}")
     print(f"parity:        {diagnostics.get('parity', 'bitwise')}")
     print(f"sampling:      {diagnostics.get('sampling', 'unbounded')}")
+    if "round_state" in diagnostics:
+        print(f"round state:   {diagnostics['round_state']}")
     if "n_workers" in diagnostics:
         print(f"workers:       {diagnostics['n_workers']}")
     if "fallbacks_tiny" in diagnostics:

@@ -226,7 +226,9 @@ def run_end_to_end(
     if isinstance(executor, ParallelExecutor):
         diagnostics["fallbacks_tiny"] = executor.fallbacks_tiny
         diagnostics["fallbacks_unpicklable"] = executor.fallbacks_unpicklable
+        diagnostics["fallbacks_shm"] = executor.fallbacks_shm
         diagnostics["n_workers"] = executor.max_workers
+        diagnostics["round_state"] = executor.round_state_channel
 
     return EndToEndResult(
         scenario=scenario,

@@ -22,7 +22,11 @@ worker calls ``batch_round`` on a
 :class:`~repro.fusion.observations.ColumnarSlice` of the pool-resident
 columns, so the kernels must only touch the CSR pointer/index attributes
 (``item_ptr``/``row_ptr``/``row_item``/``claim_prov``/``n_rows``), which
-both views provide.
+both views provide.  In hybrid workers the ``accuracies``/``active``
+inputs are **read-only views over shared-memory round state**
+(:meth:`~repro.mapreduce.executors.RoundStateHandle.load`), so kernels
+must never write into their inputs — derive new arrays (as ``np.clip``
+etc. already do) instead of mutating in place.
 
 **Numerical parity contract** (``tolerance``, see
 :data:`repro.fusion.base.PARITY_TOLERANCE_ABS`): results match the scalar

@@ -615,8 +615,10 @@ def _run_parallel_columnar(
     """The columnar-shuffle path (see :mod:`repro.fusion.shuffle`).
 
     Accuracy state lives in a float64 array indexed by provenance id and
-    crosses the process boundary as a contiguous buffer once per job; the
-    claim columns are pool-resident.  With ``hybrid=False`` workers run
+    crosses to workers once per round on the executors' round-state
+    channel (shared-memory segments where available; the shard specs
+    carry only the tiny handle); the claim columns are pool-resident.
+    With ``hybrid=False`` workers run
     the scalar posterior kernels over claims dicts rebuilt from the
     columns — every float operation matches the serial reference
     bit-for-bit, on fork and spawn pools alike, because the kernels sum
@@ -664,13 +666,13 @@ def _run_parallel_columnar(
         for round_index in range(config.max_rounds):
             active = active_mask(round_index)
             require_repeated = config.filter_by_coverage and round_index == 0
+            state1 = shuffle.install_stage1_state(executor, accuracies, active)
             if hybrid:
                 job1 = shuffle.hybrid_stage1_job(
                     "fusion.stage1",
                     cols,
                     item_posterior_fn,
-                    accuracies,
-                    active,
+                    state1,
                     require_repeated,
                 )
             else:
@@ -678,8 +680,7 @@ def _run_parallel_columnar(
                     "fusion.stage1",
                     cols,
                     item_posterior_fn,
-                    accuracies,
-                    active,
+                    state1,
                     require_repeated,
                     sample_limit=config.sample_limit,
                     seed=config.seed,
@@ -688,17 +689,16 @@ def _run_parallel_columnar(
             posteriors, posteriors_arr, scored = shuffle.merge_stage1_outputs(
                 cols, per_item
             )
+            state2 = shuffle.install_stage2_state(
+                executor, posteriors_arr, scored, active
+            )
             if hybrid:
-                job2 = shuffle.hybrid_stage2_job(
-                    "fusion.stage2", cols, posteriors_arr, scored, active
-                )
+                job2 = shuffle.hybrid_stage2_job("fusion.stage2", cols, state2)
             else:
                 job2 = shuffle.stage2_job(
                     "fusion.stage2",
                     cols,
-                    posteriors_arr,
-                    scored,
-                    active,
+                    state2,
                     sample_limit=config.sample_limit,
                     seed=config.seed,
                 )
@@ -734,11 +734,17 @@ def _run_parallel_columnar(
             {
                 "fallbacks_tiny": executor.fallbacks_tiny,
                 "fallbacks_unpicklable": executor.fallbacks_unpicklable,
+                "fallbacks_shm": executor.fallbacks_shm,
             }
             if isinstance(executor, ParallelExecutor)
             else {}
         )
+        round_state_channel = getattr(executor, "round_state_channel", "in-process")
     finally:
+        # Release the round's shared-memory segment even on a
+        # caller-managed executor (its close() would also do this, but a
+        # shared executor may outlive the fusion stage by a long time).
+        executor.uninstall_round_state(shuffle.FUSION_ROUND_KEY)
         if owns_executor:
             executor.close()
 
@@ -764,6 +770,7 @@ def _run_parallel_columnar(
             "backend_used": backend_used,
             "parity": parity_of(backend_used),
             "sampling": sampling_contract_of(config),
+            "round_state": round_state_channel,
             **fallback_diagnostics,
         },
     )

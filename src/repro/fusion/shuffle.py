@@ -14,11 +14,16 @@ canonical columnar form (:class:`~repro.fusion.observations.ColumnarClaims`
   canonical row ranking) are installed *pool-resident* once per pool via
   :meth:`~repro.mapreduce.executors.ParallelExecutor.install_state`
   (:func:`install_fusion_columns`), on fork and spawn alike;
-- each **shard task payload** is a list of integer item/provenance ids
-  plus, inside the per-job spec, the round's accuracy/posterior state as
-  contiguous float64/bool numpy buffers — no ``Claim``, ``Triple``,
-  ``DataItem`` or ``ExtractionRecord`` ever rides in a shard payload
-  (the test suite audits this with
+- the **round state** (the accuracy/posterior/active-mask vectors that
+  change every round) crosses once per round through the executors'
+  round-state channel
+  (:meth:`~repro.mapreduce.executors.ParallelExecutor.install_round_state`,
+  shared-memory segments with a pickled-inline fallback, installed under
+  :data:`FUSION_ROUND_KEY`) — each **shard task payload** is therefore a
+  list of integer item/provenance ids plus, inside the per-job spec, only
+  the tiny :class:`~repro.mapreduce.executors.RoundStateHandle`: no
+  ``Claim``, ``Triple``, ``DataItem``, ``ExtractionRecord``, *or numpy
+  buffer* ever rides in a shard payload (the test suite audits this with
   :func:`~repro.mapreduce.codec.scan_payload_types`);
 - both stages run on the executors' shared map-only protocol
   (:class:`~repro.mapreduce.executors.ShardedMapJob` / ``run_map``), the
@@ -76,6 +81,7 @@ from repro.fusion.observations import ColumnarClaims, ProvKey, ragged_gather
 from repro.kb.triples import Triple
 from repro.mapreduce.executors import (
     Executor,
+    RoundStateHandle,
     ShardedMapJob,
     sample_positions,
     worker_state,
@@ -83,7 +89,10 @@ from repro.mapreduce.executors import (
 
 __all__ = [
     "FUSION_COLUMNS_KEY",
+    "FUSION_ROUND_KEY",
     "install_fusion_columns",
+    "install_stage1_state",
+    "install_stage2_state",
     "Stage1ColumnarShard",
     "Stage2ColumnarShard",
     "HybridStage1Shard",
@@ -99,6 +108,11 @@ __all__ = [
 #: :func:`repro.mapreduce.executors.worker_state`).
 FUSION_COLUMNS_KEY = "fusion.columns"
 
+#: Round-state key the per-round buffers are installed under.  Both stages
+#: share it: Stage II's install supersedes Stage I's within a round, so at
+#: most one shared-memory segment per fusion run is ever live.
+FUSION_ROUND_KEY = "fusion.round"
+
 
 def install_fusion_columns(executor: Executor, cols: ColumnarClaims) -> None:
     """Make ``cols`` pool-resident for the stage shards.
@@ -112,13 +126,45 @@ def install_fusion_columns(executor: Executor, cols: ColumnarClaims) -> None:
     executor.install_state(FUSION_COLUMNS_KEY, cols)
 
 
+def install_stage1_state(
+    executor: Executor, accuracies: np.ndarray, active: np.ndarray
+) -> RoundStateHandle:
+    """Publish one round's Stage-I inputs on the round-state channel."""
+    return executor.install_round_state(
+        FUSION_ROUND_KEY,
+        {
+            "accuracies": np.asarray(accuracies, dtype=np.float64),
+            "active": np.asarray(active, dtype=bool),
+        },
+    )
+
+
+def install_stage2_state(
+    executor: Executor,
+    posteriors: np.ndarray,
+    scored: np.ndarray,
+    active: np.ndarray,
+) -> RoundStateHandle:
+    """Publish one round's Stage-II inputs on the round-state channel."""
+    return executor.install_round_state(
+        FUSION_ROUND_KEY,
+        {
+            "posteriors": np.asarray(posteriors, dtype=np.float64),
+            "scored": np.asarray(scored, dtype=bool),
+            "active": np.asarray(active, dtype=bool),
+        },
+    )
+
+
 @dataclass(frozen=True)
 class Stage1ColumnarShard:
     """One scalar Stage-I dispatch: score a shard of data items.
 
-    Pickled once per job; carries only the round state — the accuracy
-    vector and active mask as contiguous numpy buffers — plus the
-    picklable posterior kernel.  Shard items are integer item ids into
+    Pickled once per job; carries only the picklable posterior kernel
+    plus the :class:`~repro.mapreduce.executors.RoundStateHandle` naming
+    the round's accuracy vector and active mask (the buffers themselves
+    live in shared memory, crossing once per round — see
+    :func:`install_stage1_state`).  Shard items are integer item ids into
     the pool-resident columns.
 
     Each item's output is a list of ``(row_id, posterior)`` pairs (empty
@@ -135,8 +181,7 @@ class Stage1ColumnarShard:
     """
 
     posterior_fn: Callable
-    accuracies: np.ndarray  # float64 per provenance id
-    active: np.ndarray  # bool per provenance id
+    state: RoundStateHandle  # names the round's accuracies + active mask
     require_repeated: bool
     name: str = "fusion.stage1"
     sample_limit: int | None = None
@@ -144,14 +189,15 @@ class Stage1ColumnarShard:
 
     def __call__(self, item_ids: list[int]) -> list[list[tuple[int, float]]]:
         cols: ColumnarClaims = worker_state(FUSION_COLUMNS_KEY)
+        round_state = self.state.load()
         items = cols.items
         provenances = cols.provenances
         triples = cols.triples
         item_ptr, row_ptr = cols.item_ptr, cols.row_ptr
-        claim_prov, active = cols.claim_prov, self.active
+        claim_prov, active = cols.claim_prov, round_state["active"]
         # Same float64 values the serial reducer sees in its dict.
         accuracy_of: dict[ProvKey, float] = dict(
-            zip(provenances, self.accuracies.tolist())
+            zip(provenances, round_state["accuracies"].tolist())
         )
         outputs: list[list[tuple[int, float]]] = []
         for j in item_ids:
@@ -208,11 +254,13 @@ class Stage2ColumnarShard:
     """One scalar Stage-II dispatch: re-estimate a shard of accuracies.
 
     Shard items are integer provenance ids; the round's posteriors and
-    scored mask cross once per job as contiguous buffers.  Output per
-    provenance is its new accuracy (mean posterior of its scored triples,
-    summed in canonical triple order — bit-identical to the serial
-    Stage-II reducer) or None when the provenance is inactive or scored
-    nothing this round, mirroring the keys the serial reducer emits.
+    scored/active masks cross once per round on the round-state channel
+    (:func:`install_stage2_state`) — the spec carries only the handle.
+    Output per provenance is its new accuracy (mean posterior of its
+    scored triples, summed in canonical triple order — bit-identical to
+    the serial Stage-II reducer) or None when the provenance is inactive
+    or scored nothing this round, mirroring the keys the serial reducer
+    emits.
 
     Sampling follows the same canonical-order contract as Stage I: the
     provenance's scored rows are ordered by the resident canonical triple
@@ -220,23 +268,25 @@ class Stage2ColumnarShard:
     positional draw, so sampled means match serial bit-for-bit.
     """
 
-    posteriors: np.ndarray  # float64 per row (meaningful where scored)
-    scored: np.ndarray  # bool per row
-    active: np.ndarray  # bool per provenance id
+    state: RoundStateHandle  # names the round's posteriors/scored/active
     name: str = "fusion.stage2"
     sample_limit: int | None = None
     seed: int = 0
 
     def __call__(self, prov_ids: list[int]) -> list[float | None]:
         cols: ColumnarClaims = worker_state(FUSION_COLUMNS_KEY)
+        round_state = self.state.load()
+        posteriors = round_state["posteriors"]
+        scored = round_state["scored"]
+        active = round_state["active"]
         rank = cols.canonical_rank()
         outputs: list[float | None] = []
         for p in prov_ids:
-            if not self.active[p]:
+            if not active[p]:
                 outputs.append(None)
                 continue
             rows = cols.prov_rows[cols.prov_ptr[p] : cols.prov_ptr[p + 1]]
-            rows = rows[self.scored[rows]]
+            rows = rows[scored[rows]]
             if rows.size == 0:
                 outputs.append(None)
                 continue
@@ -251,7 +301,7 @@ class Stage2ColumnarShard:
             if positions is not None:
                 ordered = ordered[np.asarray(positions, dtype=np.int64)]
             total = 0.0
-            for value in self.posteriors[ordered].tolist():
+            for value in posteriors[ordered].tolist():
                 total += value
             outputs.append(total / int(ordered.size))
         return outputs
@@ -272,15 +322,16 @@ class HybridStage1Shard:
     """
 
     kernel: Callable  # must expose batch_round(cols, acc, active, repeated)
-    accuracies: np.ndarray  # float64 per provenance id
-    active: np.ndarray  # bool per provenance id
+    state: RoundStateHandle  # names the round's accuracies + active mask
     require_repeated: bool
 
     def __call__(self, item_ids: list[int]) -> list[list[tuple[int, float]]]:
         cols: ColumnarClaims = worker_state(FUSION_COLUMNS_KEY)
+        round_state = self.state.load()
         part = cols.slice_items(item_ids)
         round_result = self.kernel.batch_round(
-            part, self.accuracies, self.active, self.require_repeated
+            part, round_state["accuracies"], round_state["active"],
+            self.require_repeated,
         )
         scored = round_result.scored
         posteriors = round_result.posteriors
@@ -309,12 +360,12 @@ class HybridStage2Shard:
     bitwise) parity.
     """
 
-    posteriors: np.ndarray  # float64 per row (meaningful where scored)
-    scored: np.ndarray  # bool per row
-    active: np.ndarray  # bool per provenance id
+    state: RoundStateHandle  # names the round's posteriors/scored/active
 
     def __call__(self, prov_ids: list[int]) -> list[float | None]:
         cols: ColumnarClaims = worker_state(FUSION_COLUMNS_KEY)
+        round_state = self.state.load()
+        active = round_state["active"]
         ids = np.asarray(prov_ids, dtype=np.int64)
         counts = cols.prov_ptr[ids + 1] - cols.prov_ptr[ids]
         ptr = np.zeros(len(ids) + 1, dtype=np.int64)
@@ -322,12 +373,12 @@ class HybridStage2Shard:
         # Every provenance supports >= 1 row by construction, so no
         # reduceat segment is empty.
         rows = cols.prov_rows[ragged_gather(cols.prov_ptr[ids], counts)]
-        scored_here = self.scored[rows]
-        contrib = np.where(scored_here, self.posteriors[rows], 0.0)
+        scored_here = round_state["scored"][rows]
+        contrib = np.where(scored_here, round_state["posteriors"][rows], 0.0)
         sums = np.add.reduceat(contrib, ptr[:-1])
         ns = np.add.reduceat(scored_here.astype(np.float64), ptr[:-1])
         return [
-            float(sums[i] / ns[i]) if self.active[p] and ns[i] > 0 else None
+            float(sums[i] / ns[i]) if active[p] and ns[i] > 0 else None
             for i, p in enumerate(ids)
         ]
 
@@ -336,24 +387,23 @@ def stage1_job(
     name: str,
     cols: ColumnarClaims,
     posterior_fn: Callable,
-    accuracies: np.ndarray,
-    active: np.ndarray,
+    state: RoundStateHandle,
     require_repeated: bool,
     sample_limit: int | None = None,
     seed: int = 0,
 ) -> ShardedMapJob:
     """The scalar Stage-I round as a map-only job over item ids.
 
-    ``key_fn`` resolves the item's canonical key in the parent (it never
-    pickles), so shard assignment matches the stable crc32 partitioning
-    every other sharded stage uses.
+    ``state`` is the handle :func:`install_stage1_state` returned for
+    this round.  ``key_fn`` resolves the item's canonical key in the
+    parent (it never pickles), so shard assignment matches the stable
+    crc32 partitioning every other sharded stage uses.
     """
     return ShardedMapJob(
         name=name,
         map_shard=Stage1ColumnarShard(
             posterior_fn=posterior_fn,
-            accuracies=np.array(accuracies, dtype=np.float64),
-            active=np.array(active, dtype=bool),
+            state=state,
             require_repeated=require_repeated,
             name=name,
             sample_limit=sample_limit,
@@ -366,19 +416,19 @@ def stage1_job(
 def stage2_job(
     name: str,
     cols: ColumnarClaims,
-    posteriors: np.ndarray,
-    scored: np.ndarray,
-    active: np.ndarray,
+    state: RoundStateHandle,
     sample_limit: int | None = None,
     seed: int = 0,
 ) -> ShardedMapJob:
-    """The scalar Stage-II round as a map-only job over provenance ids."""
+    """The scalar Stage-II round as a map-only job over provenance ids.
+
+    ``state`` is the handle :func:`install_stage2_state` returned for
+    this round.
+    """
     return ShardedMapJob(
         name=name,
         map_shard=Stage2ColumnarShard(
-            posteriors=posteriors,
-            scored=scored,
-            active=np.array(active, dtype=bool),
+            state=state,
             name=name,
             sample_limit=sample_limit,
             seed=seed,
@@ -391,8 +441,7 @@ def hybrid_stage1_job(
     name: str,
     cols: ColumnarClaims,
     kernel: Callable,
-    accuracies: np.ndarray,
-    active: np.ndarray,
+    state: RoundStateHandle,
     require_repeated: bool,
 ) -> ShardedMapJob:
     """The hybrid Stage-I round: batched kernels per shard of item ids."""
@@ -400,8 +449,7 @@ def hybrid_stage1_job(
         name=name,
         map_shard=HybridStage1Shard(
             kernel=kernel,
-            accuracies=np.array(accuracies, dtype=np.float64),
-            active=np.array(active, dtype=bool),
+            state=state,
             require_repeated=require_repeated,
         ),
         key_fn=lambda j: cols.items[j].canonical(),
@@ -411,16 +459,12 @@ def hybrid_stage1_job(
 def hybrid_stage2_job(
     name: str,
     cols: ColumnarClaims,
-    posteriors: np.ndarray,
-    scored: np.ndarray,
-    active: np.ndarray,
+    state: RoundStateHandle,
 ) -> ShardedMapJob:
     """The hybrid Stage-II round: batched reduce per shard of prov ids."""
     return ShardedMapJob(
         name=name,
-        map_shard=HybridStage2Shard(
-            posteriors=posteriors, scored=scored, active=np.array(active, dtype=bool)
-        ),
+        map_shard=HybridStage2Shard(state=state),
         key_fn=lambda p: cols.provenances[p],
     )
 

@@ -144,13 +144,17 @@ class Vote(Fuser):
             executor = make_executor(self.config, "parallel")
         shuffle.install_fusion_columns(executor, cols)
         n_provs = len(cols.provenances)
+        state = shuffle.install_stage1_state(
+            executor,
+            np.zeros(n_provs, dtype=np.float64),
+            np.ones(n_provs, dtype=bool),
+        )
         if hybrid:
             job = shuffle.hybrid_stage1_job(
                 "vote.stage1",
                 cols,
                 VoteKernel(),
-                np.zeros(n_provs, dtype=np.float64),
-                np.ones(n_provs, dtype=bool),
+                state,
                 require_repeated=False,
             )
         else:
@@ -158,8 +162,7 @@ class Vote(Fuser):
                 "vote.stage1",
                 cols,
                 VoteKernel(),
-                np.zeros(n_provs, dtype=np.float64),
-                np.ones(n_provs, dtype=bool),
+                state,
                 require_repeated=False,
                 sample_limit=self.config.sample_limit,
                 seed=self.config.seed,
@@ -170,11 +173,16 @@ class Vote(Fuser):
                 {
                     "fallbacks_tiny": executor.fallbacks_tiny,
                     "fallbacks_unpicklable": executor.fallbacks_unpicklable,
+                    "fallbacks_shm": executor.fallbacks_shm,
                 }
                 if isinstance(executor, ParallelExecutor)
                 else {}
             )
+            round_state_channel = getattr(
+                executor, "round_state_channel", "in-process"
+            )
         finally:
+            executor.uninstall_round_state(shuffle.FUSION_ROUND_KEY)
             if owns_executor:
                 executor.close()
         probabilities, _arr, _scored = shuffle.merge_stage1_outputs(cols, per_item)
@@ -188,6 +196,7 @@ class Vote(Fuser):
                 "backend_used": backend_used,
                 "parity": parity_of(backend_used),
                 "sampling": sampling_contract_of(self.config),
+                "round_state": round_state_channel,
                 **fallback_diagnostics,
             },
         )

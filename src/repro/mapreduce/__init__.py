@@ -19,6 +19,7 @@ from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
 from repro.mapreduce.executors import (
     Executor,
     ParallelExecutor,
+    RoundStateHandle,
     SerialExecutor,
     ShardedMapJob,
     worker_state,
@@ -31,6 +32,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "RoundStateHandle",
     "ShardedMapJob",
     "WireCodec",
     "worker_state",

@@ -10,14 +10,18 @@ Three properties, each load-bearing:
    not change the parallel fused output (the columnar layout is
    canonical, not insertion-ordered).
 3. **Payload purity**: no ``Claim``/``Triple``/``DataItem``/
-   ``ExtractionRecord`` object ever rides in a shard task payload — only
-   integer ids, primitives and contiguous numpy buffers cross per shard;
-   the heavyweight columns cross once, through the pool initializer.
+   ``ExtractionRecord`` object — and, since the shared-memory round-state
+   channel, *no numpy buffer either* — ever rides in a fusion shard task
+   payload: only integer ids, primitives, and the tiny round-state handle
+   cross per shard.  The heavyweight columns cross once through the pool
+   initializer; the per-round accuracy/posterior/active buffers cross
+   once per round through shared memory.
 """
 
 import pickle
 import random
 
+import numpy as np
 import pytest
 
 from repro.extract.records import ExtractionRecord
@@ -190,7 +194,7 @@ class TestPayloadPurity:
         monkeypatch.setattr(executors.ProcessPoolExecutor, "submit", spy)
         return recorded
 
-    def _assert_payloads_clean(self, recorded):
+    def _assert_payloads_clean(self, recorded, forbid_arrays=False):
         assert recorded, "no shard tasks were dispatched"
         for args in recorded:
             spec_bytes, shard = args
@@ -206,6 +210,14 @@ class TestPayloadPurity:
                 assert not offenders, (
                     f"shard payload carries domain objects: {offenders}"
                 )
+                if forbid_arrays:
+                    assert not any(
+                        issubclass(t, np.ndarray) for t in types
+                    ), (
+                        "shard payload carries a numpy buffer — per-round "
+                        "state must cross on the round-state channel, not "
+                        "in the spec"
+                    )
 
     def test_fusion_shards_carry_no_claim_objects(
         self, micro_scenario, monkeypatch
@@ -215,12 +227,18 @@ class TestPayloadPurity:
             micro_scenario.fusion_input()
         )
         assert result.diagnostics["backend_used"] == "parallel"
-        self._assert_payloads_clean(recorded)
+        self._assert_payloads_clean(recorded, forbid_arrays=True)
+
+    def test_hybrid_shards_carry_no_buffers(self, micro_scenario, monkeypatch):
+        recorded = self._record_submissions(monkeypatch)
+        result = popaccu(backend="hybrid").fuse(micro_scenario.fusion_input())
+        assert result.diagnostics["backend_used"] == "hybrid"
+        self._assert_payloads_clean(recorded, forbid_arrays=True)
 
     def test_vote_shards_carry_no_claim_objects(self, micro_scenario, monkeypatch):
         recorded = self._record_submissions(monkeypatch)
         vote(backend="parallel").fuse(micro_scenario.fusion_input())
-        self._assert_payloads_clean(recorded)
+        self._assert_payloads_clean(recorded, forbid_arrays=True)
 
     def test_extraction_shards_carry_no_extractor_objects(
         self, micro_scenario, monkeypatch

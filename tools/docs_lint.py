@@ -1,7 +1,7 @@
 """Docs lint: keep the documentation front door from rotting.
 
-Two classes of drift this catches, both run in CI and in the tier-1 suite
-(``tests/test_docs.py``):
+Three classes of drift this catches, all run in CI and in the tier-1
+suite (``tests/test_docs.py``):
 
 1. **Dead relative links** — every ``[text](target)`` in the tracked
    markdown files must resolve to a file or directory in the tree
@@ -12,6 +12,10 @@ Two classes of drift this catches, both run in CI and in the tier-1 suite
    ``repro.endtoend.PIPELINE_BACKENDS``) must be documented in the README
    backend matrix, and the README must mention every subcommand the CLI
    actually exposes.
+3. **Benchmark entrypoints out of sync** — every ``benchmarks/<x>.py``
+   script the docs mention must exist (the 25 ad-hoc ``bench_fig*``
+   scripts were replaced by the registry runner), and the README must
+   document the ``benchmarks/run.py`` entrypoint itself.
 
 Usage::
 
@@ -38,8 +42,12 @@ LINKED_DOCS = (
 #: Docs whose ``repro-kf <subcommand>`` mentions must match the parser.
 CLI_DOCS = ("README.md", "docs/ARCHITECTURE.md")
 
+#: Docs whose ``benchmarks/<script>.py`` mentions must name real files.
+BENCH_DOCS = CLI_DOCS + ("ROADMAP.md", "src/repro/mapreduce/README.md")
+
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _CLI_MENTION = re.compile(r"repro-kf\s+([a-z][a-z0-9_-]*)")
+_BENCH_SCRIPT = re.compile(r"benchmarks/([A-Za-z0-9_]+\.py)")
 
 
 def check_links(root: Path = REPO_ROOT) -> list[str]:
@@ -117,8 +125,31 @@ def check_cli_sync(root: Path = REPO_ROOT) -> list[str]:
     return errors
 
 
+def check_bench_sync(root: Path = REPO_ROOT) -> list[str]:
+    """Doc'd benchmark scripts exist; the runner itself is documented."""
+    errors: list[str] = []
+    for name in BENCH_DOCS:
+        doc = root / name
+        if not doc.exists():
+            # Already reported by check_links for tracked docs.
+            continue
+        for script in sorted(set(_BENCH_SCRIPT.findall(doc.read_text()))):
+            if not (root / "benchmarks" / script).exists():
+                errors.append(
+                    f"{name}: references benchmarks/{script}, which does "
+                    "not exist (bench cases live in the registry now)"
+                )
+    readme_path = root / "README.md"
+    if readme_path.exists() and "benchmarks/run.py" not in readme_path.read_text():
+        errors.append(
+            "README.md: the benchmark runner entrypoint benchmarks/run.py "
+            "is undocumented"
+        )
+    return errors
+
+
 def run_lint(root: Path = REPO_ROOT) -> list[str]:
-    return check_links(root) + check_cli_sync(root)
+    return check_links(root) + check_cli_sync(root) + check_bench_sync(root)
 
 
 def main() -> int:
