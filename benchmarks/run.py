@@ -74,6 +74,11 @@ def main(argv: list[str] | None = None) -> int:
         "--out-dir", type=Path, default=RESULTS_DIR,
         help="where BENCH_<case>.json and text reports land",
     )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="scenario artifact cache directory (repro.artifacts): warm "
+        "runs skip worldgen, bit-identically (default: no on-disk cache)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -89,6 +94,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         workers=args.workers,
         results_dir=args.out_dir,
+        cache_dir=args.cache_dir,
     )
     failures: list[str] = []
     try:

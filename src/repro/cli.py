@@ -33,6 +33,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.datasets import (
     build_extraction_pipeline,
@@ -152,6 +153,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the parallel backend (default: CPU count)",
     )
+    pipeline_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="scenario artifact cache directory: warm runs load worldgen "
+        "bit-identically in milliseconds (default: no on-disk cache)",
+    )
     return parser
 
 
@@ -184,7 +192,8 @@ def _run_fuse(args) -> int:
     if "fallbacks_tiny" in result.diagnostics:
         print(
             f"fallbacks:     {result.diagnostics['fallbacks_tiny']} tiny, "
-            f"{result.diagnostics['fallbacks_unpicklable']} unpicklable"
+            f"{result.diagnostics['fallbacks_unpicklable']} unpicklable, "
+            f"{result.diagnostics.get('fallbacks_shm', 0)} shm"
         )
     print(f"fusion time:   {elapsed:.3f}s")
     print(f"rounds:        {result.rounds} (converged: {result.converged})")
@@ -240,7 +249,8 @@ def _run_extract(args) -> int:
         print(f"workers:       {executor.max_workers}")
         print(
             f"fallbacks:     {executor.fallbacks_tiny} tiny, "
-            f"{executor.fallbacks_unpicklable} unpicklable"
+            f"{executor.fallbacks_unpicklable} unpicklable, "
+            f"{executor.fallbacks_shm} shm"
         )
     return 0
 
@@ -255,6 +265,7 @@ def _run_pipeline(args) -> int:
             method=args.method,
             backend=args.backend,
             n_workers=args.workers,
+            cache_dir=args.cache_dir,
         )
     except ConfigError as err:
         print(f"repro-kf pipeline: error: {err}", file=sys.stderr)
@@ -268,12 +279,14 @@ def _run_pipeline(args) -> int:
     print(f"sampling:      {diagnostics.get('sampling', 'unbounded')}")
     if "round_state" in diagnostics:
         print(f"round state:   {diagnostics['round_state']}")
+    print(f"scenario cache: {diagnostics.get('scenario_cache', 'off')}")
     if "n_workers" in diagnostics:
         print(f"workers:       {diagnostics['n_workers']}")
     if "fallbacks_tiny" in diagnostics:
         print(
             f"fallbacks:     {diagnostics['fallbacks_tiny']} tiny, "
-            f"{diagnostics['fallbacks_unpicklable']} unpicklable"
+            f"{diagnostics['fallbacks_unpicklable']} unpicklable, "
+            f"{diagnostics.get('fallbacks_shm', 0)} shm"
         )
     print(
         f"pages:         {diagnostics['n_pages']} "

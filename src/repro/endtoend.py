@@ -29,7 +29,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
+from repro.artifacts import setup_worldgen
 from repro.datasets.scenario import (
     Scenario,
     ScenarioConfig,
@@ -43,9 +45,6 @@ from repro.fusion.base import FusionConfig, FusionResult, Fuser
 from repro.fusion.presets import accu, popaccu, popaccu_plus, popaccu_plus_unsup, vote
 from repro.kb.triples import Triple
 from repro.mapreduce.executors import Executor, ParallelExecutor, SerialExecutor
-from repro.world.facts import build_freebase_snapshot
-from repro.world.webgen import generate_corpus
-from repro.world.worldgen import generate_world
 
 __all__ = [
     "PIPELINE_BACKENDS",
@@ -141,6 +140,7 @@ def run_end_to_end(
     backend: str = "serial",
     n_workers: int | None = None,
     executor: Executor | None = None,
+    cache_dir: str | Path | None = None,
 ) -> EndToEndResult:
     """Run extraction → gold labeling → fusion on one shared executor.
 
@@ -151,7 +151,10 @@ def run_end_to_end(
     caller-managed ``executor`` overrides the executor choice (and is not
     closed here).  The fusion configuration inherits the scenario seed
     and the requested backend unless ``fusion_config`` pins them
-    explicitly.
+    explicitly.  ``cache_dir`` enables the on-disk scenario artifact
+    cache (:func:`repro.artifacts.setup_worldgen`) for the setup stage —
+    bit-identical to a fresh build; ``diagnostics["scenario_cache"]``
+    reports ``hit`` / ``miss`` / ``off``.
     """
     if backend not in PIPELINE_BACKENDS:
         raise ConfigError(
@@ -183,9 +186,9 @@ def run_end_to_end(
     start_total = time.perf_counter()
     try:
         start = time.perf_counter()
-        world = generate_world(config.world, config.seed)
-        freebase = build_freebase_snapshot(world)
-        corpus = generate_corpus(world, config.web, config.seed)
+        world, freebase, corpus, cache_status = setup_worldgen(
+            config.seed, config.world, config.web, cache_dir
+        )
         pipeline = build_extraction_pipeline(config, world)
         timings["setup"] = time.perf_counter() - start
 
@@ -223,6 +226,7 @@ def run_end_to_end(
     diagnostics = dict(fusion_result.diagnostics)
     diagnostics["n_records"] = len(records)
     diagnostics["n_pages"] = len(corpus.pages)
+    diagnostics["scenario_cache"] = cache_status
     if isinstance(executor, ParallelExecutor):
         diagnostics["fallbacks_tiny"] = executor.fallbacks_tiny
         diagnostics["fallbacks_unpicklable"] = executor.fallbacks_unpicklable

@@ -14,6 +14,7 @@ so corpus-level extraction is reproducible and insensitive to page order.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -122,6 +123,18 @@ class ExtractorProfile:
         unknown = set(self.content_types) - {"TXT", "DOM", "TBL", "ANO"}
         if unknown:
             raise ConfigError(f"extractor {self.name}: unknown content {unknown}")
+        # Derived, not a field: the coverage checks test membership per
+        # page, so the tuple is hoisted to a frozenset once here instead
+        # of per coverage_mask() call.  (Kept out of the dataclass fields
+        # so repr/eq — and the scenario cache key built from them — are
+        # untouched.)
+        object.__setattr__(
+            self,
+            "category_set",
+            frozenset(self.site_categories)
+            if self.site_categories is not None
+            else None,
+        )
         for field_name in (
             "page_coverage",
             "pattern_coverage",
@@ -154,6 +167,9 @@ class Extractor(abc.ABC):
         self.confidence_model: ConfidenceModel | None = make_confidence_model(
             profile.confidence
         )
+        # Memo for reliability_for(): pattern/label keys repeat across
+        # pages and the draw is pure in (seed, name, key).
+        self._reliability_cache: dict[str, float] = {}
 
     @property
     def name(self) -> str:
@@ -165,7 +181,7 @@ class Extractor(abc.ABC):
     def covers(self, page: WebPage) -> bool:
         """Deterministically decide whether this extractor processes ``page``."""
         profile = self.profile
-        if profile.site_categories is not None and page.category not in profile.site_categories:
+        if profile.category_set is not None and page.category not in profile.category_set:
             return False
         if profile.page_coverage >= 1.0:
             return True
@@ -183,9 +199,11 @@ class Extractor(abc.ABC):
         """
         profile = self.profile
         n = len(pages)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
         mask = np.ones(n, dtype=bool)
-        if profile.site_categories is not None:
-            categories = set(profile.site_categories)
+        if profile.category_set is not None:
+            categories = profile.category_set
             mask &= np.fromiter(
                 (page.category in categories for page in pages), bool, count=n
             )
@@ -322,10 +340,12 @@ class Extractor(abc.ABC):
             if value is None:
                 return None
 
+        # math.sqrt over np.sqrt: IEEE-identical on scalars and ~10x
+        # cheaper than routing one float through a ufunc.
         signal = (
             reliability
             * structure_penalty
-            * (1.0 / np.sqrt(ambiguity))
+            * (1.0 / math.sqrt(ambiguity))
         )
         confidence = None
         if self.confidence_model is not None:
@@ -364,23 +384,38 @@ class Extractor(abc.ABC):
         so single-extractor runs carry the same debug channels as full
         pipeline runs.
         """
-        # Deferred import: pipeline imports this module for the base class.
-        from repro.extract.pipeline import classify_record
+        # Deferred import: pipeline/kernels import this module for the
+        # base class and the record types.
+        from repro.extract.kernels import classify_batch
 
-        records: list[ExtractionRecord] = []
+        batches: list[tuple[WebPage, list[ExtractionRecord]]] = []
         mask = self.coverage_mask(corpus.pages)
         for covered, page in zip(mask, corpus.pages):
             if covered:
-                for record in self.extract_page(page):
-                    records.append(classify_record(record, page))
-        return records
+                page_records = self.extract_page(page)
+                if page_records:
+                    batches.append((page, page_records))
+        classify_batch(batches)
+        return [record for _page, records in batches for record in records]
 
     def reliability_for(self, key: str) -> float:
         """Deterministic per-(extractor, key) reliability draw from the
-        profile's Beta distribution; ``key`` is a pattern/label identity."""
+        profile's Beta distribution; ``key`` is a pattern/label identity.
+
+        Memoized per extractor: the draw is a pure function of
+        ``(seed, name, key)`` and the same pattern/label keys recur for
+        every page, so caching is bit-identical — it skips re-seeding a
+        fresh ``Generator`` per call, one of the record-synthesis
+        hot spots.
+        """
+        cached = self._reliability_cache.get(key)
+        if cached is not None:
+            return cached
         mean = self.profile.reliability_mean
         conc = self.profile.reliability_concentration
         alpha = max(mean * conc, 1e-3)
         beta = max((1.0 - mean) * conc, 1e-3)
         rng = np.random.default_rng(split_seed(self.seed, "rel", self.name, key))
-        return float(rng.beta(alpha, beta))
+        value = float(rng.beta(alpha, beta))
+        self._reliability_cache[key] = value
+        return value

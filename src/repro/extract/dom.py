@@ -52,6 +52,9 @@ class DomExtractor(Extractor):
         # Global label map: label -> pid; collisions resolved by pid order,
         # which is precisely where a global map goes wrong.
         self._global_map: dict[str, str] = {}
+        # Memo for _resolve_label(): pure in (label, subject_type), and
+        # the same row labels recur on every page of a type.
+        self._label_cache: dict[tuple[str, str | None], str | None] = {}
         for pid in sorted(schema.predicates):
             predicate = schema.predicates[pid]
             label = dom_label(pid)
@@ -71,7 +74,19 @@ class DomExtractor(Extractor):
     # ------------------------------------------------------------------
     def _resolve_label(self, label: str, subject_type: str | None) -> str | None:
         """Label -> predicate id, honouring the global-map knob and the
-        wrong-predicate corruption rate."""
+        wrong-predicate corruption rate.  Memoized: the resolution is a
+        pure function of ``(label, subject_type)``, including the
+        corruption draws (``split_seed``-derived, no shared RNG)."""
+        memo_key = (label, subject_type)
+        if memo_key in self._label_cache:
+            return self._label_cache[memo_key]
+        pid = self._resolve_label_uncached(label, subject_type)
+        self._label_cache[memo_key] = pid
+        return pid
+
+    def _resolve_label_uncached(
+        self, label: str, subject_type: str | None
+    ) -> str | None:
         if self.profile.global_label_map or subject_type is None:
             pid = self._global_map.get(label)
         else:

@@ -47,11 +47,11 @@ from repro.errors import ConfigError, ExtractionError
 from repro.extract.annotation import AnnotationExtractor
 from repro.extract.base import Extractor, ExtractorProfile
 from repro.extract.dom import DomExtractor
+from repro.extract.kernels import classify_batch
 from repro.extract.linkage import EntityLinker
 from repro.extract.records import (
     RECORD_WIRE_CODEC,
     ErrorKind,
-    ExtractionDebug,
     ExtractionRecord,
 )
 from repro.extract.table import TableExtractor
@@ -103,7 +103,17 @@ def build_extractor(
 
 
 def classify_record(record: ExtractionRecord, page: WebPage) -> ExtractionRecord:
-    """Fill ``record.debug`` with the injected-error classification."""
+    """Fill ``record.debug`` with the injected-error classification.
+
+    Pure scalar reference: returns a new record when the classification
+    differs from what the debug channel already carries, and ``record``
+    itself — no copies — when it is already correct (the common case on
+    re-classification, and the exact-match fast path either way, since
+    fresh records default to ``error_kind=None`` / ``source_error=False``).
+    The batched :func:`repro.extract.kernels.classify_batch` must agree
+    with this function record-for-record; the parity tests compare them
+    bitwise.
+    """
     debug = record.debug
     if debug is None:
         raise ExtractionError(
@@ -111,26 +121,24 @@ def classify_record(record: ExtractionRecord, page: WebPage) -> ExtractionRecord
             "was it stripped before classification?"
         )
     if debug.asserted_index is None:
-        new = replace(
-            debug, error_kind=ErrorKind.TRIPLE_IDENTIFICATION, source_error=False
-        )
-        return replace(record, debug=new)
-    asserted = page.assertions[debug.asserted_index]
-    if debug.span_corrupted:
         kind: ErrorKind | None = ErrorKind.TRIPLE_IDENTIFICATION
-    elif record.triple == asserted.triple:
-        kind = None
-    elif debug.slot_mismatch:
-        kind = ErrorKind.TRIPLE_IDENTIFICATION
-    elif record.triple.predicate != asserted.triple.predicate:
-        kind = ErrorKind.PREDICATE_LINKAGE
+        source_error = False
     else:
-        kind = ErrorKind.ENTITY_LINKAGE
-    new = replace(
-        debug,
-        error_kind=kind,
-        source_error=(kind is None and asserted.source_error),
-    )
+        asserted = page.assertions[debug.asserted_index]
+        if debug.span_corrupted:
+            kind = ErrorKind.TRIPLE_IDENTIFICATION
+        elif record.triple == asserted.triple:
+            kind = None
+        elif debug.slot_mismatch:
+            kind = ErrorKind.TRIPLE_IDENTIFICATION
+        elif record.triple.predicate != asserted.triple.predicate:
+            kind = ErrorKind.PREDICATE_LINKAGE
+        else:
+            kind = ErrorKind.ENTITY_LINKAGE
+        source_error = kind is None and asserted.source_error
+    if debug.error_kind is kind and debug.source_error == source_error:
+        return record
+    new = replace(debug, error_kind=kind, source_error=source_error)
     return replace(record, debug=new)
 
 
@@ -143,7 +151,10 @@ def _extract_shard(pages: list[WebPage]) -> list[list[ExtractionRecord]]:
     payload.  Returns one classified record list per page.  Page coverage
     is decided by one batched
     :meth:`~repro.extract.base.Extractor.coverage_mask` pass per extractor
-    instead of a per-page ``covers()`` call.
+    instead of a per-page ``covers()`` call, and error classification by
+    one shard-wide :func:`~repro.extract.kernels.classify_batch` kernel
+    call instead of per-record :func:`classify_record` (bitwise-identical
+    — see the kernel's parity contract).
     """
     extractors: tuple[Extractor, ...] = worker_state(EXTRACT_FLEET_KEY)
     masks = [extractor.coverage_mask(pages) for extractor in extractors]
@@ -151,11 +162,10 @@ def _extract_shard(pages: list[WebPage]) -> list[list[ExtractionRecord]]:
     for index, page in enumerate(pages):
         records: list[ExtractionRecord] = []
         for extractor, mask in zip(extractors, masks):
-            if not mask[index]:
-                continue
-            for record in extractor.extract_page(page):
-                records.append(classify_record(record, page))
+            if mask[index]:
+                records.extend(extractor.extract_page(page))
         per_page.append(records)
+    classify_batch(list(zip(pages, per_page)))
     return per_page
 
 

@@ -520,6 +520,7 @@ def _run_mapreduce(
             {
                 "fallbacks_tiny": executor.fallbacks_tiny,
                 "fallbacks_unpicklable": executor.fallbacks_unpicklable,
+                "fallbacks_shm": executor.fallbacks_shm,
             }
             if isinstance(executor, ParallelExecutor)
             else {}

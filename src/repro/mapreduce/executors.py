@@ -29,8 +29,9 @@ dataclasses; the fusion stages satisfy this).  When a reducer cannot be
 pickled — e.g. the closure-based reducers third-party extensions may pass —
 the parallel executor transparently falls back to in-process reduction and
 counts the event in ``fallbacks_unpicklable``; jobs too small for dispatch
-overhead to pay off are counted in ``fallbacks_tiny`` (``fallbacks`` sums
-both).
+overhead to pay off are counted in ``fallbacks_tiny``; round-state installs
+that had to cross inline instead of through shared memory are counted in
+``fallbacks_shm`` (``fallbacks`` sums all three).
 
 **Per-round state.**  State that changes once per *round* but is read by
 every shard of that round (fusion's accuracy/posterior/active-mask
@@ -622,8 +623,14 @@ class ParallelExecutor:
 
     @property
     def fallbacks(self) -> int:
-        """Total jobs that ran in-process despite the parallel backend."""
-        return self.fallbacks_tiny + self.fallbacks_unpicklable
+        """Total degraded events despite the parallel backend: jobs that
+        ran in-process (tiny or unpicklable) plus round-state installs
+        that crossed inline rather than through shared memory."""
+        return (
+            self.fallbacks_tiny
+            + self.fallbacks_unpicklable
+            + self.fallbacks_shm
+        )
 
     @property
     def round_state_channel(self) -> str:

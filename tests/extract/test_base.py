@@ -128,6 +128,11 @@ class TestCoverageMask:
         pages = [page(url=f"http://s.org/p{i}", category="general") for i in range(20)]
         assert extractor.coverage_mask(pages).all()
 
+    def test_empty_page_list(self, text_extractor):
+        mask = text_extractor.coverage_mask([])
+        assert mask.dtype == np.bool_
+        assert mask.shape == (0,)
+
 
 def emit_extractor(small_world, **profile_kwargs):
     linker = EntityLinker("EL-A", small_world.entities, small_world.popularity, seed=1)

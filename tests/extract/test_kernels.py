@@ -1,0 +1,178 @@
+"""Unit tests for the batched extraction-error classification kernel.
+
+:func:`repro.extract.kernels.classify_batch` annotates records in place
+and must agree with the scalar reference
+(:func:`repro.extract.pipeline.classify_record`) bit-for-bit — the
+parity tests here compare full records, never just the error kinds.
+"""
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.extract.kernels import classify_batch
+from repro.extract.pipeline import classify_record
+from repro.extract.records import ErrorKind, ExtractionDebug, ExtractionRecord
+from repro.kb.triples import Triple
+from repro.kb.values import EntityRef, StringValue
+from repro.world.facts import SourceAssertion
+from repro.world.webgen import WebPage
+
+ASSERTED = Triple("/m/1", "t/t/p", EntityRef("/m/2"))
+OTHER = Triple("/m/1", "t/t/q", EntityRef("/m/3"))
+
+
+def make_page(url="http://s.org/p", assertions=None, source_error=False):
+    if assertions is None:
+        assertions = (
+            SourceAssertion(
+                triple=ASSERTED, true_in_world=not source_error, exact=True
+            ),
+        )
+    return WebPage(
+        url=url,
+        site="s.org",
+        category="general",
+        assertions=assertions,
+        elements=(),
+    )
+
+
+def make_record(triple, **debug_kwargs):
+    return ExtractionRecord(
+        triple=triple,
+        extractor="X",
+        url="http://s.org/p",
+        site="s.org",
+        content_type="DOM",
+        debug=ExtractionDebug(**debug_kwargs),
+    )
+
+
+def branch_batches(source_error=False):
+    """One page exercising all five branches of the classification."""
+    page = make_page(source_error=source_error)
+    records = [
+        make_record(ASSERTED, asserted_index=0),  # exact match
+        make_record(ASSERTED, asserted_index=None),  # fabricated
+        make_record(ASSERTED, asserted_index=0, span_corrupted=True),
+        make_record(OTHER, asserted_index=0, slot_mismatch=True),
+        make_record(  # wrong predicate, same slot
+            Triple("/m/1", "t/t/q", EntityRef("/m/2")), asserted_index=0
+        ),
+        make_record(  # right predicate, wrong entity
+            Triple("/m/1", "t/t/p", EntityRef("/m/9")), asserted_index=0
+        ),
+        make_record(  # unlinkable mention emitted as a raw string
+            Triple("/m/1", "t/t/p", StringValue("who?")), asserted_index=0
+        ),
+    ]
+    return [(page, records)]
+
+
+class TestClassifyBatch:
+    def test_empty_input(self):
+        assert classify_batch([]) == 0
+        assert classify_batch([(make_page(), [])]) == 0
+
+    def test_stripped_debug_rejected(self):
+        page = make_page()
+        record = ExtractionRecord(
+            triple=ASSERTED,
+            extractor="X",
+            url=page.url,
+            site=page.site,
+            content_type="DOM",
+            debug=None,
+        )
+        with pytest.raises(ExtractionError, match="debug channel"):
+            classify_batch([(page, [record])])
+
+    @pytest.mark.parametrize("source_error", [False, True])
+    def test_branches_match_scalar_reference(self, source_error):
+        batches = branch_batches(source_error=source_error)
+        expected = [
+            classify_record(record, page)
+            for page, records in branch_batches(source_error=source_error)
+            for record in records
+        ]
+        changed = classify_batch(batches)
+        annotated = [record for _page, records in batches for record in records]
+        assert annotated == expected
+        kinds = [record.debug.error_kind for record in annotated]
+        assert kinds == [
+            None,
+            ErrorKind.TRIPLE_IDENTIFICATION,
+            ErrorKind.TRIPLE_IDENTIFICATION,
+            ErrorKind.TRIPLE_IDENTIFICATION,
+            ErrorKind.PREDICATE_LINKAGE,
+            ErrorKind.ENTITY_LINKAGE,
+            ErrorKind.ENTITY_LINKAGE,
+        ]
+        assert [record.debug.source_error for record in annotated] == [
+            source_error, False, False, False, False, False, False,
+        ]
+        assert changed == 6 + source_error  # every record but the clean one
+
+    def test_second_pass_is_a_no_op(self):
+        batches = branch_batches()
+        assert classify_batch(batches) > 0
+        snapshot = [record for _page, records in batches for record in records]
+        assert classify_batch(batches) == 0
+        assert [record for _page, records in batches for record in records] == snapshot
+
+    def test_page_without_assertions(self):
+        page = make_page(assertions=())
+        record = make_record(ASSERTED, asserted_index=None)
+        classify_batch([(page, [record])])
+        assert record.debug.error_kind is ErrorKind.TRIPLE_IDENTIFICATION
+
+    def test_multi_page_offsets(self):
+        # Same asserted_index on different pages must resolve against
+        # each page's own assertion, not a shared table row.
+        page_a = make_page(url="http://s.org/a")
+        page_b = make_page(
+            url="http://s.org/b",
+            assertions=(
+                SourceAssertion(triple=OTHER, true_in_world=True, exact=True),
+            ),
+        )
+        record_a = make_record(ASSERTED, asserted_index=0)
+        record_b = make_record(ASSERTED, asserted_index=0)
+        classify_batch([(page_a, [record_a]), (page_b, [record_b])])
+        assert record_a.debug.error_kind is None
+        assert record_b.debug.error_kind is ErrorKind.PREDICATE_LINKAGE
+
+
+def synthesize(scenario):
+    """Fresh unclassified records from the scenario's fleet, per page."""
+    pages = list(scenario.corpus.pages)
+    extractors = scenario.pipeline.extractors
+    masks = [extractor.coverage_mask(pages) for extractor in extractors]
+    per_page = []
+    for index, page in enumerate(pages):
+        records = []
+        for extractor, mask in zip(extractors, masks):
+            if mask[index]:
+                records.extend(extractor.extract_page(page))
+        per_page.append(records)
+    return pages, per_page
+
+
+class TestFleetParity:
+    def test_kernel_matches_scalar_on_full_fleet(self, tiny_scenario):
+        pages, per_page = synthesize(tiny_scenario)
+        # The reference runs on an independently synthesized (bit-identical)
+        # set: classify_record returns the *same* object on the no-change
+        # path, and comparing against aliases of records the kernel just
+        # mutated would vacuously pass.
+        _pages, reference = synthesize(tiny_scenario)
+        expected = [
+            classify_record(record, page)
+            for page, records in zip(pages, reference)
+            for record in records
+        ]
+        classify_batch(list(zip(pages, per_page)))
+        annotated = [record for records in per_page for record in records]
+        assert annotated == expected
+        # ... and both equal what the pipeline itself produced.
+        assert annotated == tiny_scenario.records

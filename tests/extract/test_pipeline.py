@@ -103,6 +103,24 @@ class TestClassification:
         with pytest.raises(ExtractionError):
             classify_record(record, make_page())
 
+    def test_already_correct_returns_same_object(self):
+        # Fresh exact-match records carry the right channel already
+        # (error_kind=None, source_error=False): no copies on this path.
+        fresh = make_record(ASSERTED, asserted_index=0)
+        assert classify_record(fresh, make_page()) is fresh
+        # Re-classifying an annotated record is also copy-free.
+        annotated = classify_record(
+            make_record(ASSERTED, asserted_index=None), make_page()
+        )
+        assert annotated.debug.error_kind is ErrorKind.TRIPLE_IDENTIFICATION
+        assert classify_record(annotated, make_page()) is annotated
+
+    def test_changed_classification_returns_new_record(self):
+        record = make_record(ASSERTED, asserted_index=None)
+        classified = classify_record(record, make_page())
+        assert classified is not record
+        assert record.debug.error_kind is None  # the input is untouched
+
 
 class TestPipeline:
     def test_runs_all_extractors(self, tiny_scenario):

@@ -110,11 +110,12 @@ class TestFallbacks:
             assert executor.fallbacks_unpicklable == 0
             assert out == SerialExecutor().run(CORPUS, word_count_job())
 
-    def test_fallbacks_sums_both_counters(self):
+    def test_fallbacks_sums_all_counters(self):
         executor = ParallelExecutor(max_workers=2)
         executor.fallbacks_tiny = 2
         executor.fallbacks_unpicklable = 3
-        assert executor.fallbacks == 5
+        executor.fallbacks_shm = 4
+        assert executor.fallbacks == 9
 
 
 def _square_shard(items):
