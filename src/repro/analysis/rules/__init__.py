@@ -1,0 +1,26 @@
+"""The DET rule registry.
+
+Each ``det00x_*`` module exports one :class:`repro.analysis.lint.Rule`
+as ``RULE``; :data:`ALL_RULES` is the ordered registry the engine runs
+by default.  Adding a rule = adding a module here + a good/bad fixture
+pair in ``tests/analysis/test_rules.py``.
+"""
+
+from repro.analysis.rules.det001_rng import RULE as DET001
+from repro.analysis.rules.det002_order import RULE as DET002
+from repro.analysis.rules.det003_payload import RULE as DET003
+from repro.analysis.rules.det004_shm import RULE as DET004
+from repro.analysis.rules.det005_clock import RULE as DET005
+from repro.analysis.rules.det006_contracts import RULE as DET006
+
+ALL_RULES = (DET001, DET002, DET003, DET004, DET005, DET006)
+
+__all__ = [
+    "ALL_RULES",
+    "DET001",
+    "DET002",
+    "DET003",
+    "DET004",
+    "DET005",
+    "DET006",
+]

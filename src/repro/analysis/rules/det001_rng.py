@@ -1,0 +1,129 @@
+"""DET001 — RNG discipline.
+
+All randomness in ``src/repro`` must flow through ``repro.rng`` named
+streams: ``split_seed(seed, *names)`` feeding a seeded
+``np.random.default_rng``.  Anything that draws entropy from process
+state instead — the stdlib ``random`` module, the legacy numpy global
+RNG (``np.random.shuffle`` et al.), ``os.urandom``, or a *zero-argument*
+``default_rng()`` — produces runs that cannot be replayed and is an
+error.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Mapping
+
+from repro.analysis.lint import Finding, Rule, SourceFile
+from repro.analysis.rules.common import import_aliases, resolve
+
+RULE_ID = "DET001"
+
+#: The seeded-constructor surface of ``numpy.random`` that named streams
+#: legitimately use; everything else on the module is the legacy global
+#: RNG.
+_NUMPY_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "Philox",
+    "SFC64",
+}
+
+
+def _check_file(source: SourceFile) -> Iterator[Finding]:
+    tree = source.tree
+    if tree is None:
+        return
+    aliases = import_aliases(tree)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield Finding(
+                        source.path,
+                        node.lineno,
+                        RULE_ID,
+                        "stdlib 'random' is nondeterministic process state; "
+                        "use repro.rng named streams",
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "random":
+                yield Finding(
+                    source.path,
+                    node.lineno,
+                    RULE_ID,
+                    "stdlib 'random' is nondeterministic process state; "
+                    "use repro.rng named streams",
+                )
+            elif node.module == "os":
+                for alias in node.names:
+                    if alias.name == "urandom":
+                        yield Finding(
+                            source.path,
+                            node.lineno,
+                            RULE_ID,
+                            "os.urandom draws OS entropy; "
+                            "use repro.rng named streams",
+                        )
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in _NUMPY_ALLOWED:
+                        yield Finding(
+                            source.path,
+                            node.lineno,
+                            RULE_ID,
+                            f"legacy numpy global RNG 'numpy.random."
+                            f"{alias.name}' shares mutable process state; "
+                            "use a seeded default_rng via repro.rng",
+                        )
+        elif isinstance(node, ast.Attribute):
+            dotted = resolve(node, aliases)
+            if dotted == "os.urandom":
+                yield Finding(
+                    source.path,
+                    node.lineno,
+                    RULE_ID,
+                    "os.urandom draws OS entropy; use repro.rng named streams",
+                )
+            elif (
+                dotted is not None
+                and dotted.startswith("numpy.random.")
+                and dotted.split(".")[2] not in _NUMPY_ALLOWED
+            ):
+                yield Finding(
+                    source.path,
+                    node.lineno,
+                    RULE_ID,
+                    f"legacy numpy global RNG '{dotted}' shares mutable "
+                    "process state; use a seeded default_rng via repro.rng",
+                )
+        elif isinstance(node, ast.Call):
+            dotted = resolve(node.func, aliases)
+            if (
+                dotted is not None
+                and dotted.split(".")[-1] == "default_rng"
+                and (dotted.startswith("numpy.random") or dotted == "default_rng")
+                and not node.args
+                and not node.keywords
+            ):
+                yield Finding(
+                    source.path,
+                    node.lineno,
+                    RULE_ID,
+                    "default_rng() without a seed draws OS entropy; "
+                    "seed it from repro.rng.split_seed",
+                )
+
+
+def check(files: Mapping[str, SourceFile]) -> Iterable[Finding]:
+    for path in sorted(files):
+        if not path.startswith("src/repro/"):
+            continue
+        yield from _check_file(files[path])
+
+
+RULE = Rule(id=RULE_ID, title="RNG discipline", check=check)

@@ -1,0 +1,119 @@
+"""DET005 — wall-clock and environment isolation.
+
+Kernel/reducer modules must be pure functions of (seed, config, data):
+a ``time.time()`` timestamp folded into a record, a ``datetime.now()``
+default, or an ``os.environ`` read makes two runs of the same seed
+differ.  Timing belongs to the benchmark registry and the CLI layer;
+environment belongs to process setup.  Scope:
+:data:`~repro.analysis.rules.common.KERNEL_MODULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Mapping
+
+from repro.analysis.lint import Finding, Rule, SourceFile
+from repro.analysis.rules.common import KERNEL_MODULES, import_aliases, resolve
+
+RULE_ID = "DET005"
+
+_CLOCK_ATTRS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+}
+
+_NOW_METHODS = {"now", "utcnow", "today"}
+
+_ENV_ATTRS = {"os.environ"}
+_ENV_CALLS = {"os.getenv"}
+
+_BANNED_FROM_IMPORTS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "process_time"),
+    ("time", "process_time_ns"),
+    ("os", "environ"),
+    ("os", "getenv"),
+}
+
+
+def _check_file(source: SourceFile) -> Iterator[Finding]:
+    tree = source.tree
+    if tree is None:
+        return
+    aliases = import_aliases(tree)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.level == 0:
+            for alias in node.names:
+                if (node.module, alias.name) in _BANNED_FROM_IMPORTS:
+                    yield Finding(
+                        source.path,
+                        node.lineno,
+                        RULE_ID,
+                        f"'from {node.module} import {alias.name}' in a "
+                        "kernel module; clocks and environment reads "
+                        "belong to benchmarks and the CLI layer",
+                    )
+        elif isinstance(node, ast.Attribute):
+            dotted = resolve(node, aliases)
+            if dotted in _CLOCK_ATTRS:
+                yield Finding(
+                    source.path,
+                    node.lineno,
+                    RULE_ID,
+                    f"{dotted}() read in a kernel module; kernels must be "
+                    "pure functions of (seed, config, data)",
+                )
+            elif dotted in _ENV_ATTRS:
+                yield Finding(
+                    source.path,
+                    node.lineno,
+                    RULE_ID,
+                    "os.environ read in a kernel module; resolve "
+                    "environment at process setup, pass values in",
+                )
+        elif isinstance(node, ast.Call):
+            dotted = resolve(node.func, aliases)
+            if dotted in _ENV_CALLS:
+                yield Finding(
+                    source.path,
+                    node.lineno,
+                    RULE_ID,
+                    "os.getenv read in a kernel module; resolve "
+                    "environment at process setup, pass values in",
+                )
+            elif (
+                dotted is not None
+                and dotted.split(".")[-1] in _NOW_METHODS
+                and any(
+                    part in {"datetime", "date"} for part in dotted.split(".")[:-1]
+                )
+            ):
+                yield Finding(
+                    source.path,
+                    node.lineno,
+                    RULE_ID,
+                    f"{dotted}() read in a kernel module; kernels must be "
+                    "pure functions of (seed, config, data)",
+                )
+
+
+def check(files: Mapping[str, SourceFile]) -> Iterable[Finding]:
+    for path in KERNEL_MODULES:
+        if path in files:
+            yield from _check_file(files[path])
+
+
+RULE = Rule(id=RULE_ID, title="wall-clock/env isolation", check=check)

@@ -1,0 +1,165 @@
+"""DET006 — contract declaration.
+
+Every backend name exposed through ``fusion.BACKENDS`` and
+``endtoend.PIPELINE_BACKENDS`` must resolve under the declared numeric
+contracts: a key in ``_BACKEND_PARITY`` (what ``parity_of`` consults)
+and the presence of ``parity_of`` / ``sampling_contract_of``
+themselves.  A backend added without a parity declaration ships with an
+*undefined* correctness contract; a parity key with no backend is a
+stale declaration.  This is the one cross-module rule: it correlates
+``fusion/base.py`` with ``endtoend.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Mapping
+
+from repro.analysis.lint import Finding, Rule, SourceFile
+
+RULE_ID = "DET006"
+
+BASE_PATH = "src/repro/fusion/base.py"
+ENDTOEND_PATH = "src/repro/endtoend.py"
+
+_REQUIRED_FUNCS = ("parity_of", "sampling_contract_of")
+
+
+def _module_assign(tree: ast.Module, name: str) -> ast.expr | None:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.value
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                return node.value
+    return None
+
+
+def _str_tuple(node: ast.expr | None) -> tuple[str, ...] | None:
+    """Literal tuple/list of strings, else None."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    values: list[str] = []
+    for elt in node.elts:
+        if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+            values.append(elt.value)
+        else:
+            return None
+    return tuple(values)
+
+
+def _dict_str_keys(node: ast.expr | None) -> tuple[str, ...] | None:
+    """Literal-string keys of a dict display (values may be Name refs
+    to module constants — only the key set matters here)."""
+    if not isinstance(node, ast.Dict):
+        return None
+    keys: list[str] = []
+    for key in node.keys:
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            keys.append(key.value)
+        else:
+            return None
+    return tuple(keys)
+
+
+def _has_func(tree: ast.Module, name: str) -> bool:
+    return any(
+        isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node.name == name
+        for node in tree.body
+    )
+
+
+def check(files: Mapping[str, SourceFile]) -> Iterable[Finding]:
+    return list(_check(files))
+
+
+def _check(files: Mapping[str, SourceFile]) -> Iterator[Finding]:
+    base = files.get(BASE_PATH)
+    if base is None or base.tree is None:
+        # Fixture runs that do not include base.py have nothing to
+        # declare; the repo run always includes it.
+        return
+
+    backends_node = _module_assign(base.tree, "BACKENDS")
+    backends = _str_tuple(backends_node)
+    if backends is None:
+        yield Finding(
+            BASE_PATH,
+            backends_node.lineno if backends_node is not None else 1,
+            RULE_ID,
+            "BACKENDS must be a module-level literal tuple of backend "
+            "names so the contract surface is statically auditable",
+        )
+        return
+
+    parity_node = _module_assign(base.tree, "_BACKEND_PARITY")
+    parity_keys = _dict_str_keys(parity_node)
+    if parity_keys is None:
+        yield Finding(
+            BASE_PATH,
+            parity_node.lineno if parity_node is not None else 1,
+            RULE_ID,
+            "_BACKEND_PARITY must be a module-level dict display with "
+            "literal string keys (one per backend)",
+        )
+        return
+
+    for func in _REQUIRED_FUNCS:
+        if not _has_func(base.tree, func):
+            yield Finding(
+                BASE_PATH,
+                1,
+                RULE_ID,
+                f"required contract resolver {func}() is missing from "
+                "fusion/base.py",
+            )
+
+    for backend in backends:
+        if backend not in parity_keys:
+            yield Finding(
+                BASE_PATH,
+                backends_node.lineno,
+                RULE_ID,
+                f"backend '{backend}' is in BACKENDS but has no "
+                "_BACKEND_PARITY entry; parity_of() would raise on it",
+            )
+    for key in parity_keys:
+        if key not in backends:
+            yield Finding(
+                BASE_PATH,
+                parity_node.lineno,
+                RULE_ID,
+                f"_BACKEND_PARITY declares '{key}' which is not in "
+                "BACKENDS; stale contract declaration",
+            )
+
+    endtoend = files.get(ENDTOEND_PATH)
+    if endtoend is None or endtoend.tree is None:
+        return
+    pipeline_node = _module_assign(endtoend.tree, "PIPELINE_BACKENDS")
+    if pipeline_node is None:
+        return
+    pipeline = _str_tuple(pipeline_node)
+    if pipeline is None:
+        yield Finding(
+            ENDTOEND_PATH,
+            pipeline_node.lineno,
+            RULE_ID,
+            "PIPELINE_BACKENDS must be a literal tuple of backend names",
+        )
+        return
+    for backend in pipeline:
+        if backend not in backends or backend not in parity_keys:
+            yield Finding(
+                ENDTOEND_PATH,
+                pipeline_node.lineno,
+                RULE_ID,
+                f"pipeline backend '{backend}' does not resolve under "
+                "fusion's BACKENDS/_BACKEND_PARITY contract declarations",
+            )
+
+
+RULE = Rule(id=RULE_ID, title="contract declaration", check=check)

@@ -160,6 +160,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="scenario artifact cache directory: warm runs load worldgen "
         "bit-identically in milliseconds (default: no on-disk cache)",
     )
+    lint_parser = sub.add_parser(
+        "lint",
+        help="statically check the determinism/payload/parity contracts",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    lint_parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root to lint (default: auto-detected)",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file of accepted findings "
+        "(default: tools/contracts_lint_baseline.json under the root)",
+    )
     return parser
 
 
@@ -303,6 +326,18 @@ def _run_pipeline(args) -> int:
     return 0
 
 
+def _run_lint(args) -> int:
+    from repro.analysis import find_repo_root, render_human, render_json, run_lint
+
+    root = args.root if args.root is not None else find_repo_root()
+    result = run_lint(root, baseline_path=args.baseline)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_human(result))
+    return 0 if result.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -315,6 +350,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_extract(args)
     if args.command == "pipeline":
         return _run_pipeline(args)
+    if args.command == "lint":
+        return _run_lint(args)
     scenario = build_scenario(_SCALES[args.scale](seed=args.seed))
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     for experiment_id in ids:

@@ -40,7 +40,6 @@ from repro.datasets.scenario import (
 )
 from repro.errors import ConfigError
 from repro.experiments.common import metrics_for
-from repro.extract.pipeline import EXTRACT_FLEET_KEY
 from repro.fusion.base import FusionConfig, FusionResult, Fuser
 from repro.fusion.presets import accu, popaccu, popaccu_plus, popaccu_plus_unsup, vote
 from repro.kb.triples import Triple
@@ -194,10 +193,9 @@ def run_end_to_end(
 
         start = time.perf_counter()
         records = pipeline.run(corpus, backend=extraction_backend, executor=executor)
-        # The fleet was only needed for extraction; withdrawing it here
-        # keeps the stage-boundary pool restart (when fusion installs the
-        # claim columns) from re-shipping it to workers that never use it.
-        executor.uninstall_state(EXTRACT_FLEET_KEY)
+        # pipeline.run withdraws the fleet from the shared executor at the
+        # stage boundary, so the pool restart (when fusion installs the
+        # claim columns) does not re-ship it to workers that never use it.
         timings["extraction"] = time.perf_counter() - start
 
         start = time.perf_counter()

@@ -236,6 +236,11 @@ class ExtractionPipeline:
         finally:
             if owns_executor:
                 executor.close()
+            else:
+                # A shared executor outlives this stage: withdraw the
+                # fleet so the next stage's pool restart does not re-ship
+                # it to workers that never use it.
+                executor.uninstall_state(EXTRACT_FLEET_KEY)
         return [record for page_records in per_page for record in page_records]
 
     def by_name(self, name: str) -> Extractor:

@@ -209,7 +209,7 @@ def _stage1(
         (item, triple, prov)
         for item, triple_map in matrix.items.items()
         for triple, provs in triple_map.items()
-        for prov in provs
+        for prov in sorted(provs)
         if prov in active
     ]
     job = MapReduceJob(
@@ -466,7 +466,7 @@ def _run_mapreduce(
     default = config.default_accuracy
 
     all_provs = set(matrix.prov_triples)
-    accuracies: dict[ProvKey, float] = {prov: default for prov in all_provs}
+    accuracies: dict[ProvKey, float] = {prov: default for prov in sorted(all_provs)}
     evaluated: set[ProvKey] = set()
 
     gold_initialized = 0
@@ -745,7 +745,7 @@ def _run_parallel_columnar(
         # Release the round's shared-memory segment even on a
         # caller-managed executor (its close() would also do this, but a
         # shared executor may outlive the fusion stage by a long time).
-        executor.uninstall_round_state(shuffle.FUSION_ROUND_KEY)
+        shuffle.uninstall_fusion_round_state(executor)
         if owns_executor:
             executor.close()
 

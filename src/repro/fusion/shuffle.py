@@ -93,6 +93,8 @@ __all__ = [
     "install_fusion_columns",
     "install_stage1_state",
     "install_stage2_state",
+    "uninstall_fusion_columns",
+    "uninstall_fusion_round_state",
     "Stage1ColumnarShard",
     "Stage2ColumnarShard",
     "HybridStage1Shard",
@@ -124,6 +126,22 @@ def install_fusion_columns(executor: Executor, cols: ColumnarClaims) -> None:
     """
     cols.canonical_rank()
     executor.install_state(FUSION_COLUMNS_KEY, cols)
+
+
+def uninstall_fusion_columns(executor: Executor) -> None:
+    """Withdraw the pool-resident columns installed by
+    :func:`install_fusion_columns`."""
+    executor.uninstall_state(FUSION_COLUMNS_KEY)
+
+
+def uninstall_fusion_round_state(executor: Executor) -> None:
+    """Release the round-state channel both stage installers publish on.
+
+    One call per round regardless of which stage installed last: the
+    stages share :data:`FUSION_ROUND_KEY`, so this unlinks whatever
+    segment is currently live.
+    """
+    executor.uninstall_round_state(FUSION_ROUND_KEY)
 
 
 def install_stage1_state(

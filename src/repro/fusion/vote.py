@@ -182,7 +182,7 @@ class Vote(Fuser):
                 executor, "round_state_channel", "in-process"
             )
         finally:
-            executor.uninstall_round_state(shuffle.FUSION_ROUND_KEY)
+            shuffle.uninstall_fusion_round_state(executor)
             if owns_executor:
                 executor.close()
         probabilities, _arr, _scored = shuffle.merge_stage1_outputs(cols, per_item)

@@ -40,6 +40,7 @@ The contract both producers follow (see ``mapreduce/README.md``):
 
 from __future__ import annotations
 
+import collections
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -65,11 +66,12 @@ class WireCodec:
 def scan_payload_types(payload: Any, _seen: set[int] | None = None) -> set[type]:
     """Every concrete type reachable inside ``payload``.
 
-    Walks tuples/lists/sets/dicts (and numpy array dtypes, via one scalar
-    probe) so tests can assert shard payloads are free of domain objects.
-    Dataclass payload wrappers are descended into via ``__dict__`` /
-    ``__slots__`` so smuggling an object inside a spec does not escape
-    the audit.
+    Walks tuples/lists/sets/frozensets/deques/dicts (including
+    ``defaultdict`` factories), numpy array dtypes (via one scalar probe
+    for object arrays), and ``memoryview`` backing objects, so tests can
+    assert shard payloads are free of domain objects.  Dataclass payload
+    wrappers are descended into via ``__dict__`` / ``__slots__`` so
+    smuggling an object inside a spec does not escape the audit.
     """
     if _seen is None:
         _seen = set()
@@ -83,11 +85,27 @@ def scan_payload_types(payload: Any, _seen: set[int] | None = None) -> set[type]
             for element in payload.flat:
                 types |= scan_payload_types(element, _seen)
         return types
-    if isinstance(payload, (tuple, list, set, frozenset)):
+    if isinstance(payload, (bytes, bytearray, str)):
+        # Leaf buffers: iterating them would report int/str per element.
+        return types
+    if isinstance(payload, memoryview):
+        # A memoryview is a window onto another object's buffer; audit
+        # the backing object — that is what actually gets shipped.
+        types |= scan_payload_types(payload.obj, _seen)
+        return types
+    if isinstance(
+        payload, (tuple, list, set, frozenset, collections.deque)
+    ):
         for element in payload:
             types |= scan_payload_types(element, _seen)
         return types
     if isinstance(payload, dict):
+        factory = getattr(payload, "default_factory", None)
+        if factory is not None and not isinstance(factory, type):
+            # A defaultdict whose factory is a closure/lambda/partial can
+            # smuggle captured state; audit it.  Bare type factories
+            # (list, set, int) carry nothing.
+            types |= scan_payload_types(factory, _seen)
         for key, value in payload.items():
             types |= scan_payload_types(key, _seen)
             types |= scan_payload_types(value, _seen)

@@ -20,7 +20,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.kb.entities import Entity
-from repro.kb.schema import ValueKind
 from repro.kb.triples import DataItem, Triple
 from repro.kb.values import EntityRef, Value
 from repro.rng import named_rng, zipf_weights

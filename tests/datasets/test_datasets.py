@@ -4,7 +4,6 @@ import pytest
 
 from repro.datasets import (
     EXTRACTOR_PROFILES,
-    ScenarioConfig,
     build_scenario,
     medium_config,
     profile_by_name,

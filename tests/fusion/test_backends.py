@@ -12,7 +12,6 @@ The contract, tested on real seeded scenarios:
   fall back to the serial reference and still produce correct results.
 """
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.extract.records import ExtractionRecord
-from repro.fusion import FusionConfig, FusionInput, popaccu
+from repro.fusion import FusionConfig, popaccu
 from repro.fusion.popaccu import popaccu_item_posteriors
 from repro.kb.triples import Triple
 from repro.kb.values import StringValue

@@ -1,0 +1,90 @@
+"""The contract lint as a tier-1 test: the repo must stay clean.
+
+Mirrors ``tests/test_docs.py``: the same checks CI runs as the
+``static-analysis`` lane fail the ordinary test run too, so a stray
+``random.*`` call or an unpaired ``install_state`` never survives to a
+parity test three PRs later.  Also pins the entry points themselves
+(``tools/contracts_lint.py``, ``repro-kf lint``) and, when ``ruff`` is
+on PATH, the generic-lint configuration.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestRepoIsClean:
+    def test_contract_lint_passes_on_the_repo(self):
+        result = run_lint(REPO_ROOT)
+        assert result.findings == (), "\n".join(
+            finding.format() for finding in result.findings
+        )
+
+    def test_baseline_is_empty(self):
+        """The committed baseline must stay empty: new findings are fixed
+        or pragma'd with a reason, never silently baselined."""
+        data = json.loads(
+            (REPO_ROOT / "tools" / "contracts_lint_baseline.json").read_text()
+        )
+        assert data["suppressions"] == []
+
+    def test_all_six_rules_ran(self):
+        result = run_lint(REPO_ROOT)
+        assert result.rules == (
+            "DET001",
+            "DET002",
+            "DET003",
+            "DET004",
+            "DET005",
+            "DET006",
+        )
+        # The scan actually covered the package, not an empty dir.
+        assert result.n_files > 50
+
+
+class TestEntryPoints:
+    def test_tools_entrypoint_returns_zero(self):
+        spec = importlib.util.spec_from_file_location(
+            "contracts_lint", REPO_ROOT / "tools" / "contracts_lint.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        sys.modules.setdefault("contracts_lint", module)
+        spec.loader.exec_module(module)
+        assert module.main() == 0
+
+    def test_cli_lint_subcommand_json(self):
+        from repro.cli import main
+
+        import contextlib
+        import io
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = main(["lint", "--root", str(REPO_ROOT), "--format", "json"])
+        assert code == 0
+        data = json.loads(buffer.getvalue())
+        assert data["ok"] is True
+        assert data["findings"] == []
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+class TestRuff:
+    def test_ruff_check_passes(self):
+        proc = subprocess.run(
+            ["ruff", "check", "."],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -36,6 +36,10 @@ class TestDocsLint:
         docs_lint = _load_docs_lint()
         assert docs_lint.check_bench_sync() == []
 
+    def test_tool_entrypoints_in_sync(self):
+        docs_lint = _load_docs_lint()
+        assert docs_lint.check_tool_sync() == []
+
     def test_front_door_exists(self):
         """The acceptance criterion verbatim: the front door files exist
         and ROADMAP links them."""

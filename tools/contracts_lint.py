@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Contract lint entrypoint for CI — exits non-zero on any finding.
+
+Runs the AST contract checker (``repro.analysis``) over ``src/repro``
+against the committed baseline.  Companion to ``docs_lint.py``: docs
+lint keeps the documentation honest, this keeps the determinism
+contracts honest.  Also reachable as ``repro-kf lint`` once the package
+is installed.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import render_human, run_lint  # noqa: E402
+
+
+def main() -> int:
+    result = run_lint(REPO_ROOT)
+    print(render_human(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,10 @@ suite (``tests/test_docs.py``):
    script the docs mention must exist (the 25 ad-hoc ``bench_fig*``
    scripts were replaced by the registry runner), and the README must
    document the ``benchmarks/run.py`` entrypoint itself.
+4. **Tool entrypoints out of sync** — every lint entrypoint under
+   ``tools/`` (docs lint, contracts lint) must be mentioned somewhere in
+   the tracked docs, and every ``tools/<x>.py`` the docs mention must
+   exist.
 
 Usage::
 
@@ -45,9 +49,17 @@ CLI_DOCS = ("README.md", "docs/ARCHITECTURE.md")
 #: Docs whose ``benchmarks/<script>.py`` mentions must name real files.
 BENCH_DOCS = CLI_DOCS + ("ROADMAP.md", "src/repro/mapreduce/README.md")
 
+#: Docs that may satisfy the tool-entrypoint documentation requirement.
+TOOL_DOCS = CLI_DOCS + ("ROADMAP.md",)
+
+#: Lint entrypoints that must stay documented: an undocumented checker
+#: is a checker nobody runs locally before CI tells them about it.
+REQUIRED_TOOLS = ("tools/docs_lint.py", "tools/contracts_lint.py")
+
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _CLI_MENTION = re.compile(r"repro-kf\s+([a-z][a-z0-9_-]*)")
 _BENCH_SCRIPT = re.compile(r"benchmarks/([A-Za-z0-9_]+\.py)")
+_TOOL_SCRIPT = re.compile(r"tools/([A-Za-z0-9_]+\.py)")
 
 
 def check_links(root: Path = REPO_ROOT) -> list[str]:
@@ -148,8 +160,39 @@ def check_bench_sync(root: Path = REPO_ROOT) -> list[str]:
     return errors
 
 
+def check_tool_sync(root: Path = REPO_ROOT) -> list[str]:
+    """Doc'd tools exist; the required lint entrypoints are documented."""
+    errors: list[str] = []
+    mentioned: set[str] = set()
+    for name in TOOL_DOCS:
+        doc = root / name
+        if not doc.exists():
+            # Already reported by check_links for tracked docs.
+            continue
+        for script in sorted(set(_TOOL_SCRIPT.findall(doc.read_text()))):
+            mentioned.add(f"tools/{script}")
+            if not (root / "tools" / script).exists():
+                errors.append(
+                    f"{name}: references tools/{script}, which does not exist"
+                )
+    for tool in REQUIRED_TOOLS:
+        if not (root / tool).exists():
+            errors.append(f"{tool}: required lint entrypoint is missing")
+        elif tool not in mentioned:
+            errors.append(
+                f"{tool}: lint entrypoint is undocumented (mention it in "
+                f"one of {TOOL_DOCS})"
+            )
+    return errors
+
+
 def run_lint(root: Path = REPO_ROOT) -> list[str]:
-    return check_links(root) + check_cli_sync(root) + check_bench_sync(root)
+    return (
+        check_links(root)
+        + check_cli_sync(root)
+        + check_bench_sync(root)
+        + check_tool_sync(root)
+    )
 
 
 def main() -> int:
