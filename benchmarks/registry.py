@@ -61,7 +61,12 @@ MIN_VECTORIZED_SPEEDUP = 3.0
 #: per-record ``classify_record`` reference, bitwise-identical output).
 MIN_CLASSIFY_SPEEDUP = 2.0
 
-_TIMING_ROUNDS = 3  # stage timings are best-of-N perf_counter passes
+#: Stage timings are best-of-N perf_counter passes.  Public because the
+#: runner promotes it into every envelope (``timing_rounds``) so the
+#: perf-trajectory comparator knows what the blessed numbers mean.
+TIMING_ROUNDS = 3
+
+_TIMING_ROUNDS = TIMING_ROUNDS  # backwards-compatible alias
 
 
 @dataclass
@@ -106,9 +111,16 @@ class BenchContext:
             self._executor = None
 
     def environment(self) -> dict:
-        """The host facts every report carries."""
+        """The host facts every report carries.
+
+        ``python``/``machine``/``cpu_count``/``workers`` double as the
+        perf-trajectory environment fingerprint
+        (:func:`benchmarks.compare.fingerprint_of`): baseline wall-clock
+        only gates runs from the same runner class.
+        """
         return {
             "python": platform.python_version(),
+            "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
             "workers": self.workers or max(2, os.cpu_count() or 1),
         }
@@ -139,7 +151,7 @@ def register(name: str, description: str, kind: str = "stage"):
     return decorate
 
 
-def _best_of(fn, rounds: int = _TIMING_ROUNDS) -> float:
+def _best_of(fn, rounds: int = TIMING_ROUNDS) -> float:
     timings = []
     for _ in range(rounds):
         start = time.perf_counter()
@@ -201,10 +213,47 @@ def pipeline_case(ctx: BenchContext) -> dict:
         f"(contract: <= {TOLERANCE_PARITY_ABS})"
     )
 
+    # Best-of-N per-stage wall-clock (the first, parity-asserted pass
+    # counts as round 1).  The cold ``stages`` numbers below stay in the
+    # report for eyeballing, but the perf-trajectory comparator gates on
+    # these: best-of-N over a warm pool is what survives runner noise.
+    stage_rounds: dict[str, list[dict]] = {
+        "serial": [serial.timings],
+        "parallel": [parallel.timings],
+        "hybrid": [hybrid.timings],
+    }
+    for _ in range(TIMING_ROUNDS - 1):
+        stage_rounds["serial"].append(
+            run_end_to_end(
+                config, method="popaccu+", backend="serial",
+                cache_dir=ctx.cache_dir,
+            ).timings
+        )
+        stage_rounds["parallel"].append(
+            run_end_to_end(
+                config, method="popaccu+", backend="parallel",
+                n_workers=ctx.workers, executor=executor,
+                cache_dir=ctx.cache_dir,
+            ).timings
+        )
+        stage_rounds["hybrid"].append(
+            run_end_to_end(
+                config, method="popaccu+", backend="hybrid",
+                n_workers=ctx.workers, executor=executor,
+                cache_dir=ctx.cache_dir,
+            ).timings
+        )
+    best_of = {
+        f"{backend}.{stage}": round(min(t[stage] for t in rounds), 4)
+        for backend, rounds in stage_rounds.items()
+        for stage in rounds[0]
+    }
+
     def round3(timings: dict) -> dict:
         return {stage: round(elapsed, 3) for stage, elapsed in timings.items()}
 
     return {
+        "best_of": best_of,
         "n_pages": serial.diagnostics["n_pages"],
         "n_records": serial.diagnostics["n_records"],
         "workers": parallel.diagnostics.get("n_workers"),
@@ -275,7 +324,7 @@ def backends_case(ctx: BenchContext) -> dict:
     speedup = timings["serial"] / timings["vectorized"]
     lines = [
         "POPACCU single round, shared session scenario "
-        f"({len(serial.probabilities)} fused triples); best of {_TIMING_ROUNDS}",
+        f"({len(serial.probabilities)} fused triples); best of {TIMING_ROUNDS}",
         *(
             f"{backend:>12}: {seconds * 1000:9.1f} ms"
             for backend, seconds in sorted(timings.items(), key=lambda kv: kv[1])
@@ -288,6 +337,7 @@ def backends_case(ctx: BenchContext) -> dict:
         f"(required >= {MIN_VECTORIZED_SPEEDUP}x)\n" + "\n".join(lines)
     )
     return {
+        "best_of": {b: round(s, 4) for b, s in timings.items()},
         "timings_ms": {b: round(s * 1000, 1) for b, s in timings.items()},
         "vectorized_speedup": round(speedup, 2),
         "tolerance_max_delta": max_delta,
@@ -333,7 +383,7 @@ def sampling_case(ctx: BenchContext) -> dict:
     timings = {backend: _best_of(lambda b=backend: run(b)) for backend in results}
     lines = [
         f"POPACCU single round, L={sample_limit} (sampling engaged), "
-        f"canonical-order contract; best of {_TIMING_ROUNDS}",
+        f"canonical-order contract; best of {TIMING_ROUNDS}",
         *(
             f"{backend:>12}: {seconds * 1000:9.1f} ms"
             for backend, seconds in sorted(timings.items(), key=lambda kv: kv[1])
@@ -344,6 +394,7 @@ def sampling_case(ctx: BenchContext) -> dict:
     (ctx.results_dir / "sampling.txt").write_text("\n".join(lines) + "\n")
     return {
         "sample_limit": sample_limit,
+        "best_of": {b: round(s, 4) for b, s in timings.items()},
         "timings_ms": {b: round(s * 1000, 1) for b, s in timings.items()},
         "backend_used": parallel.diagnostics["backend_used"],
         "sampling": parallel.diagnostics["sampling"],
@@ -378,6 +429,7 @@ def extraction_case(ctx: BenchContext) -> dict:
         "n_pages": len(corpus.pages),
         "n_records": len(serial_records),
         "bit_identical": True,
+        "best_of": {b: round(s, 4) for b, s in timings.items()},
         "timings_ms": {b: round(s * 1000, 1) for b, s in timings.items()},
     }
 
@@ -451,7 +503,7 @@ def extraction_stages_case(ctx: BenchContext) -> dict:
 
     def timed_classify(fn) -> float:
         best = None
-        for _ in range(_TIMING_ROUNDS):
+        for _ in range(TIMING_ROUNDS):
             reset()
             start = time.perf_counter()
             fn()
@@ -481,6 +533,9 @@ def extraction_stages_case(ctx: BenchContext) -> dict:
         "n_records": len(kernel_records),
         "bit_identical": True,
         "changed_on_first_pass": changed,
+        "best_of": {
+            stage: round(seconds, 4) for stage, seconds in timings.items()
+        },
         "timings_ms": {
             stage: round(seconds * 1000, 1) for stage, seconds in timings.items()
         },

@@ -15,7 +15,9 @@ suite (``tests/test_docs.py``):
 3. **Benchmark entrypoints out of sync** — every ``benchmarks/<x>.py``
    script the docs mention must exist (the 25 ad-hoc ``bench_fig*``
    scripts were replaced by the registry runner), and the README must
-   document the ``benchmarks/run.py`` entrypoint itself.
+   document the ``benchmarks/run.py`` entrypoint itself plus the
+   perf-trajectory surface (``benchmarks/compare.py`` and the
+   ``--compare`` regression gate).
 4. **Tool entrypoints out of sync** — every lint entrypoint under
    ``tools/`` (docs lint, contracts lint) must be mentioned somewhere in
    the tracked docs, and every ``tools/<x>.py`` the docs mention must
@@ -152,11 +154,17 @@ def check_bench_sync(root: Path = REPO_ROOT) -> list[str]:
                     "not exist (bench cases live in the registry now)"
                 )
     readme_path = root / "README.md"
-    if readme_path.exists() and "benchmarks/run.py" not in readme_path.read_text():
-        errors.append(
-            "README.md: the benchmark runner entrypoint benchmarks/run.py "
-            "is undocumented"
-        )
+    if readme_path.exists():
+        readme = readme_path.read_text()
+        # The perf-trajectory surface must stay documented alongside the
+        # runner itself: an ungated benchmark is a number nobody trusts.
+        for token, what in (
+            ("benchmarks/run.py", "the benchmark runner entrypoint"),
+            ("benchmarks/compare.py", "the perf-trajectory comparator"),
+            ("--compare", "the baseline regression gate flag"),
+        ):
+            if token not in readme:
+                errors.append(f"README.md: {what} {token} is undocumented")
     return errors
 
 
