@@ -6,8 +6,12 @@ contracts: a key in ``_BACKEND_PARITY`` (what ``parity_of`` consults)
 and the presence of ``parity_of`` / ``sampling_contract_of``
 themselves.  A backend added without a parity declaration ships with an
 *undefined* correctness contract; a parity key with no backend is a
-stale declaration.  This is the one cross-module rule: it correlates
-``fusion/base.py`` with ``endtoend.py``.
+stale declaration.  Pipeline backends may rename on the way to fusion
+(``endtoend._FUSION_BACKEND`` — e.g. ``batched`` runs its fusion stage
+as ``serial``); the rename table must be a literal dict and every
+pipeline backend must resolve through it to a declared fusion backend.
+This is the one cross-module rule: it correlates ``fusion/base.py``
+with ``endtoend.py``.
 """
 
 from __future__ import annotations
@@ -62,6 +66,24 @@ def _dict_str_keys(node: ast.expr | None) -> tuple[str, ...] | None:
         else:
             return None
     return tuple(keys)
+
+
+def _dict_str_items(node: ast.expr | None) -> dict[str, str] | None:
+    """Literal ``str -> str`` dict display, else None."""
+    if not isinstance(node, ast.Dict):
+        return None
+    items: dict[str, str] = {}
+    for key, value in zip(node.keys, node.values):
+        if (
+            isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            items[key.value] = value.value
+        else:
+            return None
+    return items
 
 
 def _has_func(tree: ast.Module, name: str) -> bool:
@@ -151,14 +173,43 @@ def _check(files: Mapping[str, SourceFile]) -> Iterator[Finding]:
             "PIPELINE_BACKENDS must be a literal tuple of backend names",
         )
         return
+    # Pipeline backends may rename before reaching fusion (``batched``
+    # runs its fusion stage as ``serial``); the rename table must itself
+    # be a statically auditable literal.
+    mapping_node = _module_assign(endtoend.tree, "_FUSION_BACKEND")
+    mapping: dict[str, str] = {}
+    if mapping_node is not None:
+        parsed = _dict_str_items(mapping_node)
+        if parsed is None:
+            yield Finding(
+                ENDTOEND_PATH,
+                mapping_node.lineno,
+                RULE_ID,
+                "_FUSION_BACKEND must be a literal str -> str dict "
+                "display so backend resolution is statically auditable",
+            )
+            return
+        mapping = parsed
+        for key in mapping:
+            if key not in pipeline:
+                yield Finding(
+                    ENDTOEND_PATH,
+                    mapping_node.lineno,
+                    RULE_ID,
+                    f"_FUSION_BACKEND maps '{key}' which is not in "
+                    "PIPELINE_BACKENDS; stale contract declaration",
+                )
+
     for backend in pipeline:
-        if backend not in backends or backend not in parity_keys:
+        resolved = mapping.get(backend, backend)
+        if resolved not in backends or resolved not in parity_keys:
             yield Finding(
                 ENDTOEND_PATH,
                 pipeline_node.lineno,
                 RULE_ID,
-                f"pipeline backend '{backend}' does not resolve under "
-                "fusion's BACKENDS/_BACKEND_PARITY contract declarations",
+                f"pipeline backend '{backend}' (fusion backend "
+                f"'{resolved}') does not resolve under fusion's "
+                "BACKENDS/_BACKEND_PARITY contract declarations",
             )
 
 

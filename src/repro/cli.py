@@ -245,7 +245,7 @@ def _run_extract(args) -> int:
 
     executor = (
         ParallelExecutor(max_workers=args.workers)
-        if args.backend == "parallel"
+        if args.backend in ("parallel", "hybrid")
         else SerialExecutor()
     )
     start = time.perf_counter()
@@ -258,7 +258,15 @@ def _run_extract(args) -> int:
     per_extractor = Counter(record.extractor for record in records)
     errors = sum(1 for record in records if record.is_extraction_error)
     top = ", ".join(f"{name}:{n}" for name, n in per_extractor.most_common(4))
+    fallbacks = pipeline.synthesis_fallbacks()
+    synthesis = (
+        "batched" if args.backend in ("batched", "hybrid") else "scalar"
+    )
     print(f"backend:       {args.backend}")
+    print(
+        f"synthesis:     {synthesis}"
+        + (f" (scalar fallback: {', '.join(fallbacks)})" if fallbacks else "")
+    )
     print(f"pages:         {len(corpus.pages)} ({len(corpus.sites)} sites)")
     print(f"setup time:    {setup_elapsed:.3f}s (world + corpus + extractors)")
     print(

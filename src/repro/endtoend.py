@@ -56,11 +56,26 @@ __all__ = [
 #: Fusion method presets the pipeline (and the CLI) can run.
 PIPELINE_METHODS = ("vote", "accu", "popaccu", "popaccu+unsup", "popaccu+")
 
-#: Execution backends the pipeline can run both stages under.  ``hybrid``
-#: shares the parallel executor with extraction (which has no batched
-#: kernels and simply runs its normal parallel shards) while fusion runs
-#: vectorized kernels inside each shard.
-PIPELINE_BACKENDS = ("serial", "parallel", "hybrid")
+#: Execution backends the pipeline can run both stages under.
+#: ``batched`` keeps the serial executor but routes extraction synthesis
+#: through the vectorised kernels (fusion stays serial), so it is
+#: bit-identical to ``serial`` end to end.  ``hybrid`` shares the
+#: parallel executor across stages and runs batched kernels inside each
+#: shard: extraction synthesis stays bitwise, fusion honours the
+#: tolerance contract.
+PIPELINE_BACKENDS = ("serial", "batched", "parallel", "hybrid")
+
+#: Fusion backend each pipeline backend runs its fusion stage under.
+#: ``batched`` is an extraction-stage notion — fusion has no
+#: serial-executor batched mode, so it drops to plain serial (bitwise)
+#: there.  DET006 audits this mapping: every pipeline backend must
+#: resolve to a fusion backend with a declared parity contract.
+_FUSION_BACKEND = {
+    "serial": "serial",
+    "batched": "serial",
+    "parallel": "parallel",
+    "hybrid": "hybrid",
+}
 
 
 def make_fuser(
@@ -144,9 +159,11 @@ def run_end_to_end(
     """Run extraction → gold labeling → fusion on one shared executor.
 
     ``backend`` selects the execution mode for *both* stages: ``serial``,
-    ``parallel`` (bit-identical to serial), or ``hybrid`` (extraction
-    runs parallel; fusion runs the batched kernels inside each parallel
-    shard — tolerance parity, see :mod:`repro.fusion.runner`).  A
+    ``batched`` (serial executor, vectorised synthesis kernels —
+    bit-identical to serial), ``parallel`` (bit-identical to serial), or
+    ``hybrid`` (batched kernels inside each parallel shard for both
+    stages — extraction synthesis stays bitwise-identical, fusion is
+    tolerance parity; see :mod:`repro.fusion.runner`).  A
     caller-managed ``executor`` overrides the executor choice (and is not
     closed here).  The fusion configuration inherits the scenario seed
     and the requested backend unless ``fusion_config`` pins them
@@ -167,7 +184,7 @@ def run_end_to_end(
         )
     if fusion_config is None:
         fusion_config = FusionConfig(
-            seed=config.seed, backend=backend, n_workers=n_workers
+            seed=config.seed, backend=_FUSION_BACKEND[backend], n_workers=n_workers
         )
 
     owns_executor = executor is None
@@ -177,9 +194,15 @@ def run_end_to_end(
             if backend in ("parallel", "hybrid")
             else SerialExecutor()
         )
-    # Extraction has no batched kernels: under "hybrid" it runs its
-    # ordinary parallel shards on the shared pool.
-    extraction_backend = "serial" if backend == "serial" else "parallel"
+    # "hybrid" mirrors fusion's meaning for extraction too: parallel
+    # shards whose synthesis runs the batched kernel (bitwise parity,
+    # unlike fusion's tolerance parity).  "batched" passes through as
+    # the serial-executor batched-synthesis mode.
+    extraction_backend = {
+        "serial": "serial",
+        "batched": "batched",
+        "hybrid": "hybrid",
+    }.get(backend, "parallel")
 
     timings: dict[str, float] = {}
     start_total = time.perf_counter()
@@ -225,6 +248,12 @@ def run_end_to_end(
     diagnostics["n_records"] = len(records)
     diagnostics["n_pages"] = len(corpus.pages)
     diagnostics["scenario_cache"] = cache_status
+    diagnostics["extraction_synthesis"] = (
+        "batched" if extraction_backend in ("batched", "hybrid") else "scalar"
+    )
+    fallbacks = pipeline.synthesis_fallbacks()
+    if fallbacks:
+        diagnostics["synthesis_fallbacks"] = ",".join(fallbacks)
     if isinstance(executor, ParallelExecutor):
         diagnostics["fallbacks_tiny"] = executor.fallbacks_tiny
         diagnostics["fallbacks_unpicklable"] = executor.fallbacks_unpicklable

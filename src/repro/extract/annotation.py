@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.extract.base import Extractor
 from repro.extract.records import ExtractionRecord
+from repro.extract.synthesis import emit_plan
 from repro.rng import split_seed
 from repro.world.content import AnnotationBlock
 from repro.world.labels import ano_prop
@@ -30,6 +31,9 @@ class AnnotationExtractor(Extractor):
     def __init__(self, profile, schema, linker, seed) -> None:
         super().__init__(profile, schema, linker, seed)
         self._prop_map = self._build_map()
+        # Batched-kernel memo: itemprop -> emit_plan or None for
+        # unmapped/unknown props; pure per prop.
+        self._prop_plans: dict[str, tuple | None] = {}
 
     def _build_map(self) -> dict[str, str]:
         """The semi-automatic ontology map, holes and mistakes included.
@@ -84,6 +88,42 @@ class AnnotationExtractor(Extractor):
                     reliability=self.reliability_for(prop),
                     alternates=pool,
                 )
+                if record is not None:
+                    records.append(record)
+        return records
+
+    # ------------------------------------------------------------------
+    # Batched synthesis kernel (bitwise twin of extract_page)
+    # ------------------------------------------------------------------
+    def _synthesize_page(self, page: WebPage, emit) -> list[ExtractionRecord]:
+        records: list[ExtractionRecord] = []
+        resolve = self.linker.resolve
+        plans = self._prop_plans
+        for element in page.elements:
+            if not isinstance(element, AnnotationBlock):
+                continue
+            subject_id = resolve(element.subject.surface)
+            if subject_id is None:
+                continue
+            props = element.props
+            pool = tuple(mention for _prop, mention in props)
+            for prop, mention in props:
+                plan = plans.get(prop, False)
+                if plan is False:
+                    pid = self._prop_map.get(prop)
+                    predicate = (
+                        None if pid is None else self.schema.predicates.get(pid)
+                    )
+                    plan = plans[prop] = (
+                        None
+                        if predicate is None
+                        else emit_plan(
+                            self, predicate, None, self.reliability_for(prop)
+                        )
+                    )
+                if plan is None:
+                    continue
+                record = emit(page, subject_id, plan, mention, 1.0, False, pool)
                 if record is not None:
                     records.append(record)
         return records

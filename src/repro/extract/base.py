@@ -170,6 +170,10 @@ class Extractor(abc.ABC):
         # Memo for reliability_for(): pattern/label keys repeat across
         # pages and the draw is pure in (seed, name, key).
         self._reliability_cache: dict[str, float] = {}
+        # Last (covered urls, PageRNGBank) pair of extract_pages_batch:
+        # the bank is a pure function of (seed, name, urls), so repeat
+        # runs over the same covered set reuse the seeded streams.
+        self._rng_bank_cache: tuple[tuple[str, ...], object] | None = None
 
     @property
     def name(self) -> str:
@@ -376,25 +380,96 @@ class Extractor(abc.ABC):
     def extract_page(self, page: WebPage) -> list[ExtractionRecord]:
         """All records this extractor produces from ``page``."""
 
+    #: Family synthesis kernel: ``_synthesize_page(page, emit)`` returns
+    #: the page's records through a prebound batch emitter (see
+    #: :func:`repro.extract.synthesis.make_emitter`).  ``None`` means the
+    #: family has no kernel and :meth:`extract_pages_batch` falls back to
+    #: scalar :meth:`extract_page` per page — still bit-identical.
+    _synthesize_page = None
+
+    @property
+    def has_synthesis_kernel(self) -> bool:
+        """Whether this extractor ships a batched synthesis kernel."""
+        return type(self)._synthesize_page is not None
+
+    def extract_pages_batch(
+        self,
+        pages: Sequence[WebPage],
+        mask: np.ndarray | None = None,
+        caches=None,
+    ) -> list[list[ExtractionRecord]]:
+        """Batched :meth:`extract_page` over ``pages``: one list per page.
+
+        Bit-identical to ``[extract_page(page) if covered else [] for
+        page]`` — the scalar method stays the parity reference, exactly
+        like ``classify_record`` vs ``classify_batch``.  The batched path
+        derives one seed per covered page via a shared-prefix seed array
+        (the ``(seed, "extract", name, url)`` keying of :meth:`page_rng`),
+        provisions the per-page generators through one vectorised
+        :class:`~repro.extract.synthesis.PageRNGBank`, and replays each
+        page's draws through the family kernel; uncovered pages get an
+        empty list without consuming any seed.
+        """
+        # Deferred import: synthesis imports this module for the emit
+        # reference at closure-build time.
+        from repro.extract.synthesis import (
+            PageRNGBank,
+            SynthesisCaches,
+            _gc_paused,
+            make_emitter,
+            seed_array,
+        )
+
+        if mask is None:
+            mask = self.coverage_mask(pages)
+        per_page: list[list[ExtractionRecord]] = [[] for _ in pages]
+        covered = np.flatnonzero(mask).tolist()
+        if not covered:
+            return per_page
+        if type(self)._synthesize_page is None:
+            extract_page = self.extract_page
+            for index in covered:
+                per_page[index] = extract_page(pages[index])
+            return per_page
+        if caches is None:
+            caches = SynthesisCaches()
+        urls = tuple(pages[index].url for index in covered)
+        cached_bank = self._rng_bank_cache
+        if cached_bank is not None and cached_bank[0] == urls:
+            bank = cached_bank[1]
+        else:
+            bank = PageRNGBank(seed_array(self.seed, ("extract", self.name), urls))
+            self._rng_bank_cache = (urls, bank)
+        emit = make_emitter(self, bank.generator, caches)
+        synthesize_page = self._synthesize_page
+        reset = bank.reset
+        with _gc_paused():
+            for slot, index in enumerate(covered):
+                reset(slot)
+                per_page[index] = synthesize_page(pages[index], emit)
+        return per_page
+
     def extract_corpus(self, corpus: WebCorpus) -> list[ExtractionRecord]:
         """Classified extraction over every covered page of ``corpus``.
 
         Records pass through the same injected-error classification as
         :meth:`ExtractionPipeline.run <repro.extract.pipeline.ExtractionPipeline.run>`,
-        so single-extractor runs carry the same debug channels as full
-        pipeline runs.
+        and synthesis runs through the same batching entry point
+        (:meth:`extract_pages_batch`) the pipeline's batched backends
+        use, so single-extractor runs hit the same kernel path as full
+        pipeline runs — bit-identical to the scalar per-page loop either
+        way.
         """
         # Deferred import: pipeline/kernels import this module for the
         # base class and the record types.
         from repro.extract.kernels import classify_batch
 
-        batches: list[tuple[WebPage, list[ExtractionRecord]]] = []
-        mask = self.coverage_mask(corpus.pages)
-        for covered, page in zip(mask, corpus.pages):
-            if covered:
-                page_records = self.extract_page(page)
-                if page_records:
-                    batches.append((page, page_records))
+        per_page = self.extract_pages_batch(corpus.pages)
+        batches = [
+            (page, page_records)
+            for page, page_records in zip(corpus.pages, per_page)
+            if page_records
+        ]
         classify_batch(batches)
         return [record for _page, records in batches for record in records]
 

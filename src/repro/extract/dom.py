@@ -23,6 +23,7 @@ import numpy as np
 from repro.extract.base import Extractor, ExtractorProfile
 from repro.extract.linkage import EntityLinker
 from repro.extract.records import ExtractionRecord
+from repro.extract.synthesis import emit_plan
 from repro.kb.schema import Schema
 from repro.rng import split_seed
 from repro.world.content import DomRow, DomTree, Mention, WebTable
@@ -30,6 +31,10 @@ from repro.world.labels import dom_label, tbl_header
 from repro.world.webgen import WebPage
 
 __all__ = ["DomExtractor"]
+
+#: Merged-row cell routing when the generator recorded no explicit
+#: sub-labels: dates are birth dates, entities are birthplaces.
+_MERGED_CELL_SUB = {"date": "date", "entity": "place"}
 
 
 class DomExtractor(Extractor):
@@ -55,6 +60,12 @@ class DomExtractor(Extractor):
         # Memo for _resolve_label(): pure in (label, subject_type), and
         # the same row labels recur on every page of a type.
         self._label_cache: dict[tuple[str, str | None], str | None] = {}
+        # Batched-kernel memos, all pure in their keys: per-row emit
+        # plans, the merged-row Born / Birthplace plan pairs, and
+        # per-header plans for the table-as-DOM walk.
+        self._row_plans: dict[tuple[str, str], tuple | None] = {}
+        self._merged_preds: dict[tuple[str, str], tuple] = {}
+        self._tbl_plans: dict[tuple[str, str], tuple | None] = {}
         for pid in sorted(schema.predicates):
             predicate = schema.predicates[pid]
             label = dom_label(pid)
@@ -250,4 +261,153 @@ class DomExtractor(Extractor):
                 )
                 if record is not None:
                     records.append(record)
+        return records
+
+    # ------------------------------------------------------------------
+    # Batched synthesis kernel (bitwise twin of extract_page)
+    # ------------------------------------------------------------------
+    def _row_plan(self, subject_type: str, label: str) -> tuple | None:
+        """The :func:`~repro.extract.synthesis.emit_plan` for a plain row
+        (or None for unmapped labels) — the per-row derivations of
+        ``_extract_row``, pure in the key."""
+        plan = self._row_plans.get((subject_type, label), False)
+        if plan is False:
+            pid = self._resolve_label(label, subject_type)
+            predicate = None if pid is None else self.schema.predicates.get(pid)
+            plan = self._row_plans[(subject_type, label)] = (
+                None
+                if predicate is None
+                else emit_plan(
+                    self,
+                    predicate,
+                    self._pattern_id(subject_type, label),
+                    self.reliability_for(f"{subject_type}:{label}"),
+                )
+            )
+        return plan
+
+    def _merged_row_plan(self, subject_type: str, label: str) -> tuple:
+        """(Born emit_plan | None, Birthplace emit_plan | None) for a
+        merged row the extractor understands — sub-label routing targets
+        with the row's shared reliability/pattern baked in."""
+        plans = self._merged_preds.get((subject_type, label))
+        if plans is None:
+            born = self._typed_map.get((subject_type, "Born"))
+            place = self._typed_map.get((subject_type, "Birthplace"))
+            pattern = self._pattern_id(subject_type, label)
+            reliability = self.reliability_for(f"{subject_type}:{label}")
+            plans = self._merged_preds[(subject_type, label)] = (
+                None
+                if born is None
+                else emit_plan(self, self.schema.predicates[born], pattern, reliability),
+                None
+                if place is None
+                else emit_plan(self, self.schema.predicates[place], pattern, reliability),
+            )
+        return plans
+
+    def _synthesize_tree(self, page, tree, emit, records) -> None:
+        resolve = self.linker.resolve
+        subject_id = resolve(tree.subject.surface)
+        if subject_id is None:
+            return
+        subject_type = self.linker.registry.get(subject_id).primary_type
+        handles_merged = self.profile.handles_merged
+        append = records.append
+        row_plans = self._row_plans
+        build_plan = self._row_plan
+        merged_sub = _MERGED_CELL_SUB
+        rows = tree.rows
+        pool = None
+        for row in rows:
+            label = row.label
+            if row.merged and handles_merged:
+                born_plan, place_plan = self._merged_row_plan(subject_type, label)
+                cell_labels = row.cell_labels
+                for index, cell in enumerate(row.cells):
+                    if cell_labels is not None:
+                        sub = cell_labels[index]
+                    else:
+                        sub = merged_sub.get(cell.kind)
+                    if sub == "date":
+                        plan = born_plan
+                    elif sub == "place":
+                        plan = place_plan
+                    else:
+                        continue
+                    if plan is None:
+                        continue
+                    record = emit(page, subject_id, plan, cell)
+                    if record is not None:
+                        append(record)
+                continue
+            plan = row_plans.get((subject_type, label), False)
+            if plan is False:
+                plan = build_plan(subject_type, label)
+            if plan is None:
+                continue
+            structure_penalty = 0.55 if row.merged else 1.0
+            if pool is None:
+                pool = tuple(cell for pooled in rows for cell in pooled.cells)
+            for cell in row.cells:
+                record = emit(
+                    page, subject_id, plan, cell,
+                    structure_penalty, row.merged, pool,
+                )
+                if record is not None:
+                    append(record)
+
+    def _synthesize_table_as_dom(self, page, table, emit, records) -> None:
+        resolve = self.linker.resolve
+        registry_get = self.linker.registry.get
+        tbl_plans = self._tbl_plans
+        append = records.append
+        headers = table.headers
+        n_headers = len(headers)
+        for row in table.rows:
+            if not row:
+                continue
+            subject_mention = row[0]
+            if subject_mention.kind != "entity":
+                continue
+            subject_id = resolve(subject_mention.surface)
+            if subject_id is None:
+                continue
+            subject_type = registry_get(subject_id).primary_type
+            row_pool = tuple(row[1:])
+            for column in range(1, min(len(row), n_headers)):
+                header = headers[column]
+                plan = tbl_plans.get((subject_type, header), False)
+                if plan is False:
+                    pid = self._resolve_label(header, subject_type)
+                    predicate = (
+                        None if pid is None else self.schema.predicates.get(pid)
+                    )
+                    plan = tbl_plans[(subject_type, header)] = (
+                        None
+                        if predicate is None
+                        else emit_plan(
+                            self,
+                            predicate,
+                            self._pattern_id(subject_type, header),
+                            self.reliability_for(f"tbl:{header}"),
+                        )
+                    )
+                if plan is None:
+                    continue
+                record = emit(
+                    page, subject_id, plan, row[column],
+                    1.0, False, row_pool,
+                )
+                if record is not None:
+                    append(record)
+
+    def _synthesize_page(self, page: WebPage, emit) -> list[ExtractionRecord]:
+        records: list[ExtractionRecord] = []
+        handles_tbl = "TBL" in self.profile.content_types
+        for element in page.elements:
+            if isinstance(element, DomTree):
+                self._synthesize_tree(page, element, emit, records)
+            elif handles_tbl and isinstance(element, WebTable):
+                self._synthesize_table_as_dom(page, element, emit, records)
         return records

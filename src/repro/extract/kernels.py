@@ -38,10 +38,16 @@ import numpy as np
 from repro.errors import ExtractionError
 from repro.extract.records import ErrorKind, ExtractionRecord
 
+# Record synthesis has the same reference-plus-kernel structure as
+# classification; the synthesis kernels live in their own module
+# (:mod:`repro.extract.synthesis`) and are re-exported here so callers
+# find both extraction kernels behind one name.
+from repro.extract.synthesis import SynthesisCaches, synthesize_batch
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.world.webgen import WebPage
 
-__all__ = ["classify_batch"]
+__all__ = ["SynthesisCaches", "classify_batch", "synthesize_batch"]
 
 #: The classification outcomes as integer codes, in branch order: the
 #: scalar reference's five-way branch collapses to one nested

@@ -36,7 +36,18 @@ Execution backends (``ExtractionPipeline.run(backend=...)``):
   included) is installed *pool-resident* via
   :meth:`~repro.mapreduce.executors.ParallelExecutor.install_state`, so
   it crosses the process boundary once per pool — not once per shard —
-  on both fork and spawn start methods.
+  on both fork and spawn start methods;
+- ``batched`` — one in-process pass like ``serial``, but each shard runs
+  record synthesis through the vectorised kernel
+  (:func:`~repro.extract.synthesis.synthesize_batch`: one seed-array
+  pass per extractor instead of a ``SeedSequence``/``Generator`` build
+  per page, with per-predicate emit plans hoisted out of the record
+  loop).  Bit-identical to ``serial`` — the scalar ``extract_page`` is
+  the kernel's frozen parity reference.  Extractors without a family
+  kernel fall back to scalar ``extract_page`` inside the batch (see
+  :meth:`ExtractionPipeline.synthesis_fallbacks`);
+- ``hybrid`` — ``parallel`` sharding with the ``batched`` synthesis
+  kernel inside each worker: the fastest path, still bit-identical.
 """
 
 from __future__ import annotations
@@ -70,7 +81,13 @@ from repro.world.webgen import WebCorpus, WebPage
 __all__ = ["build_extractor", "ExtractionPipeline", "EXTRACTION_BACKENDS"]
 
 #: Execution backends for the extraction stage (see module docstring).
-EXTRACTION_BACKENDS = ("serial", "parallel")
+EXTRACTION_BACKENDS = ("serial", "batched", "parallel", "hybrid")
+
+#: Backends whose shards run the batched synthesis kernel.
+_BATCHED_SYNTHESIS_BACKENDS = frozenset({"batched", "hybrid"})
+
+#: Backends that shard over a process pool.
+_POOLED_BACKENDS = frozenset({"parallel", "hybrid"})
 
 #: Registry key the extractor fleet is installed under (pool-resident).
 EXTRACT_FLEET_KEY = "extract.fleet"
@@ -169,6 +186,31 @@ def _extract_shard(pages: list[WebPage]) -> list[list[ExtractionRecord]]:
     return per_page
 
 
+def _extract_shard_batched(pages: list[WebPage]) -> list[list[ExtractionRecord]]:
+    """One shard's extraction through the batched synthesis kernel.
+
+    The kernel twin of :func:`_extract_shard`: the same pool-resident
+    fleet and coverage masks, but record synthesis runs through
+    :func:`~repro.extract.synthesis.synthesize_batch` (vectorised
+    per-page seeding, hoisted emit plans) instead of a scalar
+    ``extract_page`` call per covered page — bit-identical output, since
+    every extractor kernel is a parity twin of its scalar reference and
+    extractors without a kernel fall back to ``extract_page`` inside
+    ``extract_pages_batch``.  One :class:`~repro.extract.synthesis.SynthesisCaches`
+    spans the shard, so ambiguity/parse memos warm across pages *and*
+    extractors.
+    """
+    from repro.extract.synthesis import SynthesisCaches, synthesize_batch
+
+    extractors: tuple[Extractor, ...] = worker_state(EXTRACT_FLEET_KEY)
+    masks = [extractor.coverage_mask(pages) for extractor in extractors]
+    per_page = synthesize_batch(
+        extractors, pages, masks=masks, caches=SynthesisCaches()
+    )
+    classify_batch(list(zip(pages, per_page)))
+    return per_page
+
+
 def _page_url(page: WebPage) -> str:
     return page.url
 
@@ -179,8 +221,10 @@ class ExtractionPipeline:
 
     ``backend``/``n_workers`` set the default execution backend for
     :meth:`run` (overridable per call): ``serial`` is the in-process
-    reference, ``parallel`` shards pages by stable URL hash over a process
-    pool with bit-identical output.
+    reference, ``batched`` runs the in-process synthesis kernel,
+    ``parallel`` shards pages by stable URL hash over a process pool, and
+    ``hybrid`` runs the synthesis kernel inside each parallel shard — all
+    bit-identical to ``serial``.
     """
 
     extractors: list[Extractor]
@@ -216,7 +260,7 @@ class ExtractionPipeline:
             )
         owns_executor = executor is None
         if executor is None:
-            if requested == "parallel":
+            if requested in _POOLED_BACKENDS:
                 executor = ParallelExecutor(
                     max_workers=n_workers if n_workers is not None else self.n_workers
                 )
@@ -225,9 +269,14 @@ class ExtractionPipeline:
         # The fleet is heavyweight, invariant state: install it once per
         # pool instead of pickling it into every shard task.
         executor.install_state(EXTRACT_FLEET_KEY, tuple(self.extractors))
+        map_shard = (
+            _extract_shard_batched
+            if requested in _BATCHED_SYNTHESIS_BACKENDS
+            else _extract_shard
+        )
         job = ShardedMapJob(
             name="extract.pages",
-            map_shard=_extract_shard,
+            map_shard=map_shard,
             key_fn=_page_url,
             codec=RECORD_WIRE_CODEC,
         )
@@ -242,6 +291,21 @@ class ExtractionPipeline:
                 # it to workers that never use it.
                 executor.uninstall_state(EXTRACT_FLEET_KEY)
         return [record for page_records in per_page for record in page_records]
+
+    def synthesis_fallbacks(self) -> tuple[str, ...]:
+        """Names of extractors without a batched synthesis kernel.
+
+        These fall back to scalar :meth:`~repro.extract.base.Extractor.extract_page`
+        inside ``batched``/``hybrid`` runs (still bit-identical); callers
+        surface the names in diagnostics so a silently-scalar fleet is
+        visible.  Empty for the stock 12-extractor fleet — every family
+        ships a kernel.
+        """
+        return tuple(
+            extractor.name
+            for extractor in self.extractors
+            if not extractor.has_synthesis_kernel
+        )
 
     def by_name(self, name: str) -> Extractor:
         for extractor in self.extractors:

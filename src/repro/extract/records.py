@@ -37,7 +37,7 @@ class ErrorKind(enum.Enum):
     PREDICATE_LINKAGE = "predicate_linkage"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class ExtractionDebug:
     """Analysis-only ground truth attached to a record.
 
@@ -61,7 +61,7 @@ class ExtractionDebug:
     slot_mismatch: bool = False
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class ExtractionRecord:
     """One (triple, provenance) observation.
 
@@ -69,6 +69,12 @@ class ExtractionRecord:
     record (None for pattern-free extractors, cf. Table 2); ``confidence``
     is the extractor's self-reported confidence (None for extractors that
     do not emit one).
+
+    Records are deliberately *not* frozen: the synthesis and
+    classification kernels construct tens of thousands per run, and
+    ``__init__`` on a frozen dataclass pays an ``object.__setattr__``
+    call per field.  Identity-bearing state lives in ``triple``
+    (frozen, hashable); records themselves are never hashed.
     """
 
     triple: Triple

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.extract.base import Extractor
 from repro.extract.records import ExtractionRecord
+from repro.extract.synthesis import emit_plan
 from repro.world.content import WebTable
 from repro.world.labels import header_candidates
 from repro.world.webgen import WebPage
@@ -31,6 +32,13 @@ class TableExtractor(Extractor):
     """Relational extraction from web tables."""
 
     record_content_type = "TBL"
+
+    def __init__(self, profile, schema, linker, seed) -> None:
+        super().__init__(profile, schema, linker, seed)
+        # Batched-kernel memo: (header, subject_type) -> mapped pid, the
+        # pure ``_map_header`` resolution (the scalar path recomputes it
+        # per table — it stays the unmemoized parity reference).
+        self._header_plans: dict[tuple[str, str | None], str | None] = {}
 
     # ------------------------------------------------------------------
     def _subject_column(self, table: WebTable) -> int:
@@ -124,4 +132,64 @@ class TableExtractor(Extractor):
                 )
                 if record is not None:
                     records.append(record)
+        return records
+
+    # ------------------------------------------------------------------
+    # Batched synthesis kernel (bitwise twin of extract_page)
+    # ------------------------------------------------------------------
+    def _synthesize_table(self, page, table, emit, records) -> None:
+        subject_col = self._subject_column(table)
+        subject_type = self._majority_type(table, subject_col)
+        header_plans = self._header_plans
+        # Column plan: everything the scalar path re-derives per row
+        # (predicate object, reliability draw) resolved once per table.
+        plan: list[tuple] = []
+        for col, header in enumerate(table.headers):
+            if col == subject_col:
+                continue
+            key = (header, subject_type)
+            if key in header_plans:
+                pid = header_plans[key]
+            else:
+                pid = header_plans[key] = self._map_header(header, subject_type)
+            if pid is None:
+                continue
+            predicate = self.schema.predicates.get(pid)
+            if predicate is None:
+                continue
+            plan.append(
+                (
+                    col,
+                    emit_plan(
+                        self, predicate, None, self.reliability_for(f"hdr:{header}")
+                    ),
+                )
+            )
+        hint = subject_type if self.profile.use_type_hints else None
+        resolve = self.linker.resolve
+        append = records.append
+        for row in table.rows:
+            if subject_col >= len(row) or row[subject_col].kind != "entity":
+                continue
+            subject_id = resolve(row[subject_col].surface, hint)
+            if subject_id is None:
+                continue
+            row_pool = tuple(
+                cell for col, cell in enumerate(row) if col != subject_col
+            )
+            n_cells = len(row)
+            for col, eplan in plan:
+                if col >= n_cells:
+                    continue
+                record = emit(
+                    page, subject_id, eplan, row[col], 1.0, False, row_pool
+                )
+                if record is not None:
+                    append(record)
+
+    def _synthesize_page(self, page: WebPage, emit) -> list[ExtractionRecord]:
+        records: list[ExtractionRecord] = []
+        for element in page.elements:
+            if isinstance(element, WebTable):
+                self._synthesize_table(page, element, emit, records)
         return records

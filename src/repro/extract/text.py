@@ -19,6 +19,7 @@ import numpy as np
 from repro.extract.base import Extractor, ExtractorProfile
 from repro.extract.linkage import EntityLinker
 from repro.extract.records import ExtractionRecord
+from repro.extract.synthesis import emit_plan
 from repro.kb.schema import Schema
 from repro.rng import split_seed
 from repro.world.content import TextDocument
@@ -55,6 +56,9 @@ class TextExtractor(Extractor):
         super().__init__(profile, schema, linker, seed)
         self.templates = templates
         self.patterns = self._build_library()
+        # Memo for the batched kernel: template_id -> sentence plan (the
+        # pattern/predicate/slot resolution, pure per template).
+        self._sentence_plans: dict[str, tuple | None] = {}
 
     # ------------------------------------------------------------------
     def _wrong_predicate(self, pid: str, draw: float) -> str:
@@ -176,4 +180,97 @@ class TextExtractor(Extractor):
             )
             if record is not None:
                 records.append(record)
+        return records
+
+    # ------------------------------------------------------------------
+    # Batched synthesis kernel (bitwise twin of extract_page)
+    # ------------------------------------------------------------------
+    def _sentence_plan(self, template_id: str) -> tuple | None:
+        """Everything ``_extract_sentence`` derives per template, hoisted.
+
+        Pure in ``template_id``: the pattern lookup, the believed
+        predicate, the subject type hint, the merged penalty, and the
+        per-slot ``(emit_plan, slot_mismatch)`` resolution.  ``None``
+        means the template produces no records (no pattern, or the
+        believed predicate is unknown).
+        """
+        pattern = self.patterns.get(template_id)
+        if pattern is None:
+            return None
+        spec = self.templates[template_id]
+        believed = self.schema.predicates.get(pattern.predicate)
+        if believed is None:
+            return None
+        type_hint = believed.type_id if self.profile.use_type_hints else None
+        merged_penalty = 0.65 if (spec.merged and not pattern.handles_merged) else 1.0
+        slot_plans: list[tuple | None] = []
+        for slot, declared in enumerate(spec.slots):
+            if slot == 0 or not spec.merged:
+                emitted_pid = pattern.predicate
+            elif pattern.handles_merged:
+                emitted_pid = declared
+            else:
+                emitted_pid = pattern.predicate
+            predicate = self.schema.predicates.get(emitted_pid)
+            if predicate is None:
+                slot_plans.append(None)
+            else:
+                slot_plans.append(
+                    (
+                        emit_plan(
+                            self,
+                            predicate,
+                            pattern.pattern_id,
+                            pattern.reliability,
+                        ),
+                        emitted_pid != declared and slot > 0,
+                    )
+                )
+        return (type_hint, merged_penalty, tuple(slot_plans))
+
+    def _synthesize_page(self, page: WebPage, emit) -> list[ExtractionRecord]:
+        records: list[ExtractionRecord] = []
+        plans = self._sentence_plans
+        build_plan = self._sentence_plan
+        resolve = self.linker.resolve
+        for element in page.elements:
+            if not isinstance(element, TextDocument):
+                continue
+            sentences = element.sentences
+            # The document-wide misgrab pool, built on first use: pure,
+            # so deferring it past pattern-less sentences is bit-safe.
+            pool = None
+            for sentence in sentences:
+                template_id = sentence.template_id
+                plan = plans.get(template_id, False)
+                if plan is False:
+                    plan = plans[template_id] = build_plan(template_id)
+                if plan is None:
+                    continue
+                type_hint, merged_penalty, slot_plans = plan
+                subject_id = resolve(sentence.subject.surface, type_hint)
+                if subject_id is None:
+                    continue
+                if pool is None:
+                    pool = tuple(
+                        mention
+                        for pooled in sentences
+                        for mention in pooled.objects
+                    )
+                for slot, mention in enumerate(sentence.objects):
+                    entry = slot_plans[slot]
+                    if entry is None:
+                        continue
+                    eplan, slot_mismatch = entry
+                    record = emit(
+                        page,
+                        subject_id,
+                        eplan,
+                        mention,
+                        merged_penalty,
+                        slot_mismatch,
+                        pool,
+                    )
+                    if record is not None:
+                        records.append(record)
         return records

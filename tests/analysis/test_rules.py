@@ -346,6 +346,46 @@ class TestDET006Contracts:
         }
         assert _rules_fired(files, DET006) == ["DET006"]
 
+    def test_good_pipeline_backend_resolved_by_mapping(self):
+        files = {
+            self.BASE: BASE_OK,
+            self.ENDTOEND: (
+                "PIPELINE_BACKENDS = ('serial', 'batched')\n"
+                "_FUSION_BACKEND = {'serial': 'serial', 'batched': 'serial'}\n"
+            ),
+        }
+        assert _rules_fired(files, DET006) == []
+
+    def test_bad_mapping_resolves_to_undeclared_backend(self):
+        files = {
+            self.BASE: BASE_OK,
+            self.ENDTOEND: (
+                "PIPELINE_BACKENDS = ('serial', 'batched')\n"
+                "_FUSION_BACKEND = {'serial': 'serial', 'batched': 'quantum'}\n"
+            ),
+        }
+        assert _rules_fired(files, DET006) == ["DET006"]
+
+    def test_bad_stale_mapping_key(self):
+        files = {
+            self.BASE: BASE_OK,
+            self.ENDTOEND: (
+                "PIPELINE_BACKENDS = ('serial',)\n"
+                "_FUSION_BACKEND = {'serial': 'serial', 'batched': 'serial'}\n"
+            ),
+        }
+        assert _rules_fired(files, DET006) == ["DET006"]
+
+    def test_bad_non_literal_mapping(self):
+        files = {
+            self.BASE: BASE_OK,
+            self.ENDTOEND: (
+                "PIPELINE_BACKENDS = ('serial',)\n"
+                "_FUSION_BACKEND = {'serial': SERIAL}\n"
+            ),
+        }
+        assert _rules_fired(files, DET006) == ["DET006"]
+
     def test_bad_non_literal_backends(self):
         files = {self.BASE: BASE_OK.replace(
             "BACKENDS = ('serial', 'parallel')",

@@ -337,3 +337,19 @@ class TestCommittedBaselines:
         assert {"serial.fusion", "parallel.fusion", "hybrid.fusion"} <= set(
             baseline["stages"]
         )
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_committed_baseline_blesses_multiple_runner_classes(self, case):
+        # The timing gate only fires for fingerprints with blessed
+        # entries; a single-environment baseline would leave every other
+        # runner class structurally checked but never timing-gated.
+        baseline = cmp.load_baseline(case)
+        assert len(baseline["environments"]) >= 2, (
+            f"BASELINE_{case}.json blesses only "
+            f"{sorted(baseline['environments'])} — the perf trajectory "
+            "needs at least two runner-class fingerprints"
+        )
+
+    def test_extraction_baseline_times_both_synthesis_paths(self):
+        baseline = cmp.load_baseline("extraction_stages")
+        assert {"synthesis", "synthesis_batch"} <= set(baseline["stages"])

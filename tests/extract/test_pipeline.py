@@ -182,6 +182,31 @@ class TestBackends:
         )
         assert parallel == tiny_scenario.records
 
+    def test_batched_bit_identical_to_serial(self, tiny_scenario):
+        # Serial executor, batched synthesis kernels: the bitwise twin
+        # of the scalar extract_page loop, observed through the backend.
+        batched = tiny_scenario.pipeline.run(tiny_scenario.corpus, backend="batched")
+        assert batched == tiny_scenario.records
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_hybrid_bit_identical_at_any_worker_count(
+        self, tiny_scenario, n_workers, start_method
+    ):
+        """Batched synthesis inside parallel shards: bitwise-identical to
+        the serial stream at every worker count under both start methods
+        (the kernels reseed per page, so sharding cannot shift draws)."""
+        from repro.mapreduce.executors import ParallelExecutor
+
+        with ParallelExecutor(
+            max_workers=n_workers, start_method=start_method
+        ) as executor:
+            records = tiny_scenario.pipeline.run(
+                tiny_scenario.corpus, backend="hybrid", executor=executor
+            )
+            assert executor.fallbacks == 0
+        assert records == tiny_scenario.records
+
     def test_parallel_pipeline_default_backend(self, tiny_scenario):
         pipeline = ExtractionPipeline(
             tiny_scenario.pipeline.extractors, backend="parallel", n_workers=2

@@ -5,6 +5,12 @@ the full pipeline (world → corpus → extraction → LCWA gold → POPACCU+)
 at the ``small`` scale with seed 0 — the configuration every benchmark
 uses — and freezes the headline metrics.
 
+The run is parametrised over the two bitwise extraction-synthesis modes
+(``serial`` scalar loop and ``batched`` vectorised kernels): both must
+reproduce the frozen numbers exactly, and the record streams themselves
+must be identical post-classification — the synthesis kernels' parity
+contract observed end to end.
+
 The whole dataflow is deterministic *and* hash-seed independent (the
 fusion kernels sum in canonical order, every noisy draw derives from
 ``split_seed``), so these are exact expectations up to float formatting;
@@ -27,9 +33,11 @@ from repro.datasets import small_config
 from repro.endtoend import run_end_to_end
 
 
-@pytest.fixture(scope="module")
-def small_run():
-    return run_end_to_end(small_config(seed=0), method="popaccu+")
+@pytest.fixture(scope="module", params=["serial", "batched"])
+def small_run(request):
+    return run_end_to_end(
+        small_config(seed=0), method="popaccu+", backend=request.param
+    )
 
 
 class TestGoldenSmall:
@@ -71,3 +79,33 @@ class TestGoldenSmall:
         assert metrics["gold_accuracy"] == pytest.approx(
             0.8917171717171717, abs=1e-12
         )
+
+
+class TestExtractionBackendAxis:
+    def test_synthesis_mode_tagged_in_diagnostics(self, small_run):
+        expected = "batched" if small_run.backend == "batched" else "scalar"
+        assert small_run.diagnostics["extraction_synthesis"] == expected
+        # The stock fleet ships a kernel per family; no scalar fallback.
+        assert "synthesis_fallbacks" not in small_run.diagnostics
+
+    def test_record_streams_identical_across_synthesis_modes(self, small_run):
+        # Re-extract the same corpus under the *other* synthesis mode:
+        # the classified record streams must match record for record.
+        scenario = small_run.scenario
+        other = "batched" if small_run.backend == "serial" else "serial"
+        records = scenario.pipeline.run(scenario.corpus, backend=other)
+        assert records == scenario.records
+
+    def test_extract_corpus_matches_the_pipeline_stream(self, small_run):
+        # ``extract_corpus`` and ``ExtractionPipeline.run`` share one
+        # batching entry point (``extract_pages_batch``): a
+        # single-extractor corpus run must reproduce its slice of the
+        # pipeline's classified stream exactly.
+        scenario = small_run.scenario
+        for extractor in scenario.pipeline.extractors:
+            records = extractor.extract_corpus(scenario.corpus)
+            assert records == [
+                record
+                for record in scenario.records
+                if record.extractor == extractor.name
+            ]

@@ -105,14 +105,26 @@ class TestCLI:
         assert "backend:       parallel" in out
         assert "fallbacks:" in out and "tiny" in out and "unpicklable" in out
 
+    def test_extract_batched_reports_synthesis_mode(self, capsys):
+        assert (
+            main(["extract", "--scale", "tiny", "--seed", "7",
+                  "--backend", "batched"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "backend:       batched" in out
+        assert "synthesis:     batched" in out
+        # Stock fleet: every family ships a kernel, no scalar fallback.
+        assert "scalar fallback" not in out
+
     def test_extract_backends_report_identical_record_counts(self, capsys):
         main(["extract", "--scale", "tiny", "--seed", "7"])
         serial_out = capsys.readouterr().out
-        main(["extract", "--scale", "tiny", "--seed", "7",
-              "--backend", "parallel", "--workers", "2"])
-        parallel_out = capsys.readouterr().out
         line = next(l for l in serial_out.splitlines() if l.startswith("records:"))
-        assert line in parallel_out
+        for extra in (["--backend", "parallel", "--workers", "2"],
+                      ["--backend", "batched"]):
+            main(["extract", "--scale", "tiny", "--seed", "7", *extra])
+            assert line in capsys.readouterr().out
 
 
 class TestCLIFuse:
@@ -205,7 +217,7 @@ class TestCLIPipeline:
     @pytest.mark.parallel_backend
     def test_pipeline_backend_round_trip_identical_metrics(self, capsys):
         metric_lines = {}
-        for backend in ("serial", "parallel", "hybrid"):
+        for backend in ("serial", "batched", "parallel", "hybrid"):
             assert (
                 main(["pipeline", "popaccu+", "--scale", "tiny", "--seed", "7",
                       "--backend", backend])
@@ -217,6 +229,7 @@ class TestCLIPipeline:
                 if line.startswith(("pages:", "rounds:", "triples:", "coverage:",
                                     "deviation:", "auc-pr:", "gold accuracy:"))
             ]
+        assert metric_lines["serial"] == metric_lines["batched"]
         assert metric_lines["serial"] == metric_lines["parallel"]
         # Hybrid's 1e-9 tolerance drift is invisible at display precision.
         assert metric_lines["serial"] == metric_lines["hybrid"]
