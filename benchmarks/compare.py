@@ -88,12 +88,26 @@ def fingerprint_of(envelope: dict) -> str:
     )
 
 
-def baseline_path(case: str, baselines_dir: Path = BASELINES_DIR) -> Path:
-    return Path(baselines_dir) / f"BASELINE_{case}.json"
+def stem_of(case: str, scale: str | None = None) -> str:
+    """The file stem for a case at a scale.
+
+    The default ``small`` scale keeps the bare historical stem
+    (``BENCH_pipeline.json`` / ``BASELINE_pipeline.json``); any other
+    scale qualifies it (``pipeline--web``) so one case can hold an
+    independent baseline per scale tier without the tiers gating each
+    other's structure or timings.
+    """
+    if scale in (None, "small"):
+        return case
+    return f"{case}--{scale}"
 
 
-def load_baseline(case: str, baselines_dir: Path = BASELINES_DIR) -> dict | None:
-    path = baseline_path(case, baselines_dir)
+def baseline_path(stem: str, baselines_dir: Path = BASELINES_DIR) -> Path:
+    return Path(baselines_dir) / f"BASELINE_{stem}.json"
+
+
+def load_baseline(stem: str, baselines_dir: Path = BASELINES_DIR) -> dict | None:
+    path = baseline_path(stem, baselines_dir)
     if not path.exists():
         return None
     return json.loads(path.read_text())
@@ -164,14 +178,15 @@ def update_baseline(
     around the fresh run alone.  The write is atomic.
     """
     fresh = baseline_from_envelope(envelope)
-    existing = load_baseline(envelope["case"], baselines_dir)
+    stem = stem_of(envelope["case"], envelope.get("scale"))
+    existing = load_baseline(stem, baselines_dir)
     if existing is not None:
         structural = ("format", "case", "kind", "scale", "seed", "stages", "contracts")
         if all(existing.get(key) == fresh[key] for key in structural):
             environments = dict(existing.get("environments") or {})
             environments.update(fresh["environments"])
             fresh["environments"] = environments
-    path = baseline_path(envelope["case"], baselines_dir)
+    path = baseline_path(stem, baselines_dir)
     _atomic_write_json(path, fresh)
     return path
 
@@ -362,7 +377,9 @@ def main(argv: list[str] | None = None) -> int:
             path = update_baseline(envelope, args.baselines_dir)
             print(f"{envelope['case']}: blessed -> {path}")
             continue
-        baseline = load_baseline(envelope["case"], args.baselines_dir)
+        baseline = load_baseline(
+            stem_of(envelope["case"], envelope.get("scale")), args.baselines_dir
+        )
         result = compare_envelope(envelope, baseline, multiplier=args.multiplier)
         sys.stdout.write(result.render())
         failed += not result.ok

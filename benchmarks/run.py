@@ -55,6 +55,7 @@ from benchmarks.compare import (  # noqa: E402
     BASELINES_DIR,
     compare_envelope,
     load_baseline,
+    stem_of,
     update_baseline,
 )
 from benchmarks.registry import (  # noqa: E402
@@ -198,33 +199,36 @@ def main(argv: list[str] | None = None) -> int:
                 # setup, parity assertions and all.  Never compared
                 # against baselines; the per-stage best-of-N below is.
                 "elapsed_seconds": round(elapsed, 3),
-                "timing_rounds": TIMING_ROUNDS,
+                # A case may override the invocation-wide rounds (the
+                # streaming web branch is a single measured pass).
+                "timing_rounds": report.get("timing_rounds", TIMING_ROUNDS),
                 "best_of_seconds": report.get("best_of", {}),
                 "report": report,
             }
-            out = args.out_dir / f"BENCH_{name}.json"
+            stem = stem_of(name, ctx.scale)
+            out = args.out_dir / f"BENCH_{stem}.json"
             out.write_text(json.dumps(envelope, indent=2) + "\n")
-            envelopes[name] = envelope
+            envelopes[stem] = envelope
             print(f"{name}: {elapsed:.2f}s -> {out}")
     finally:
         ctx.close()
 
     regressions: list[str] = []
     if args.compare:
-        for name, envelope in envelopes.items():
+        for stem, envelope in envelopes.items():
             if args.update_baseline:
                 path = update_baseline(envelope, args.baselines_dir)
-                print(f"{name}: baseline blessed -> {path}")
+                print(f"{stem}: baseline blessed -> {path}")
                 continue
-            baseline = load_baseline(name, args.baselines_dir)
+            baseline = load_baseline(stem, args.baselines_dir)
             result = compare_envelope(envelope, baseline)
-            diff_path = args.out_dir / f"COMPARE_{name}.txt"
+            diff_path = args.out_dir / f"COMPARE_{stem}.txt"
             diff_path.write_text(result.render())
             if result.ok:
-                print(f"{name}: compare OK -> {diff_path}")
+                print(f"{stem}: compare OK -> {diff_path}")
             else:
-                regressions.append(name)
-                print(f"{name}: compare REGRESSION -> {diff_path}",
+                regressions.append(stem)
+                print(f"{stem}: compare REGRESSION -> {diff_path}",
                       file=sys.stderr)
                 sys.stderr.write(result.render())
 

@@ -7,8 +7,10 @@ numpy buffers and rich domain objects at execution time; this rule is
 its static companion — it reads the dataclass *field annotations* so a
 smuggled ``np.ndarray`` or ``Claim`` fails review, not a parity test
 three PRs later.  Allowed: primitives, ids, containers of the same, and
-the ~300-byte ``RoundStateHandle`` that points workers at shared-memory
-segments.
+the two pointer types workers dereference locally — the ~300-byte
+``RoundStateHandle`` (shared-memory segments) and the
+:class:`~repro.artifacts.ColumnHandle` (memory-mapped claim columns on
+disk).
 """
 
 from __future__ import annotations
@@ -50,6 +52,7 @@ ALLOWED_TYPE_NAMES = {
     "Iterable",
     "Literal",
     "RoundStateHandle",
+    "ColumnHandle",
 }
 
 

@@ -63,17 +63,25 @@ from repro.world.worldgen import generate_world
 
 __all__ = [
     "ARTIFACT_FORMAT",
+    "COLUMN_FORMAT",
+    "ColumnHandle",
     "LazyPageList",
     "code_version",
     "scenario_artifact_key",
     "artifact_dir_for",
     "save_scenario_artifact",
     "load_scenario_artifact",
+    "save_column_store",
+    "open_column_store",
+    "prune_cache",
     "setup_worldgen",
 ]
 
 #: Bumped when the artifact layout itself changes shape.
 ARTIFACT_FORMAT = 1
+
+#: Bumped when the column-store layout changes shape.
+COLUMN_FORMAT = 1
 
 _META = "meta.json"
 _PICKLES = ("world.pkl", "freebase.pkl", "sites.pkl")
@@ -387,6 +395,206 @@ def load_scenario_artifact(
     pages = LazyPageList(urls, site_col, categories, payload, offsets)
     corpus = WebCorpus(config=web_config, sites=sites, pages=pages)
     return world, freebase, corpus
+
+
+# ---------------------------------------------------------------------------
+# Column store: persisted ColumnarClaims columns for zero-copy worker views
+# ---------------------------------------------------------------------------
+# The out-of-core `web` tier persists the claim matrix's CSR columns as
+# plain ``.npy`` files so fusion workers can map them read-only instead
+# of unpickling a full ``ColumnarClaims`` per pool.  The store is
+# content-addressed by the column *data* itself (sha256 over the file
+# digests), published atomically like the scenario artifact, and carries
+# the writer's code version so ``prune_cache`` can retire stores written
+# by code that no longer exists.
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnHandle:
+    """A pure-primitive pointer at one published column store.
+
+    This is what crosses the pool wire when mapped columns are installed
+    as pool-resident state: directory + content key + a per-file
+    ``(name, size, sha256)`` manifest — never the arrays themselves.
+    Workers re-map the files from the page cache, so the claim columns
+    are shared zero-copy across the pool.
+    """
+
+    directory: str
+    key: str
+    granularity: str
+    files: tuple[tuple[str, int, str], ...]
+
+    def path_of(self, name: str) -> Path:
+        return Path(self.directory) / name
+
+    def manifest(self) -> dict[str, tuple[int, str]]:
+        return {name: (size, digest) for name, size, digest in self.files}
+
+
+def column_store_dir_for(cache_dir: Path | str, key: str) -> Path:
+    return Path(cache_dir) / f"columns-{key[:24]}"
+
+
+def _column_store_key(granularity: str, digests: dict[str, str]) -> str:
+    material = "\n".join(
+        (
+            f"column-format={COLUMN_FORMAT}",
+            f"granularity={granularity}",
+            *(f"{name}={digests[name]}" for name in sorted(digests)),
+        )
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def save_column_store(
+    cache_dir: Path | str,
+    granularity: str,
+    arrays: dict[str, np.ndarray],
+    objects: bytes,
+) -> ColumnHandle:
+    """Publish claim columns under their content address.
+
+    ``arrays`` maps column names to int64 arrays (saved as ``.npy``);
+    ``objects`` is the pickled object-column blob (saved verbatim).
+    Publication is atomic (temp directory + rename) and idempotent: a
+    store whose content already exists is reused, and a concurrent
+    writer of the same key harmlessly loses the rename race.
+    """
+    files: dict[str, bytes] = {
+        f"{name}.npy": _npy_bytes(array) for name, array in arrays.items()
+    }
+    files["objects.pkl"] = objects
+    digests = {name: hashlib.sha256(blob).hexdigest() for name, blob in files.items()}
+    key = _column_store_key(granularity, digests)
+    final_dir = column_store_dir_for(cache_dir, key)
+    handle = ColumnHandle(
+        directory=str(final_dir),
+        key=key,
+        granularity=granularity,
+        files=tuple(
+            (name, len(files[name]), digests[name]) for name in sorted(files)
+        ),
+    )
+    if (final_dir / _META).exists():
+        return handle
+
+    meta = {
+        "format": COLUMN_FORMAT,
+        "kind": "columns",
+        "key": key,
+        "granularity": granularity,
+        "code_version": code_version(),
+        "files": {
+            name: {"bytes": len(blob), "sha256": digests[name]}
+            for name, blob in files.items()
+        },
+    }
+    final_dir.parent.mkdir(parents=True, exist_ok=True)
+    temp_dir = final_dir.with_name(final_dir.name + f".tmp-{os.getpid()}")
+    if temp_dir.exists():
+        shutil.rmtree(temp_dir)
+    temp_dir.mkdir(parents=True)
+    try:
+        for name, blob in files.items():
+            (temp_dir / name).write_bytes(blob)
+        (temp_dir / _META).write_text(json.dumps(meta, indent=2) + "\n")
+        try:
+            os.rename(temp_dir, final_dir)
+        except OSError:
+            if not (final_dir / _META).exists():
+                raise
+            shutil.rmtree(temp_dir)
+    except Exception:
+        shutil.rmtree(temp_dir, ignore_errors=True)
+        raise
+    return handle
+
+
+def open_column_store(directory: Path | str, verify: bool = False) -> ColumnHandle | None:
+    """Validate a published column store and return its handle, or None.
+
+    A miss is any mismatch: unreadable metadata, a different layout
+    format, or files whose sizes drifted from the manifest.  With
+    ``verify=True`` every file's checksum is recomputed (the corruption
+    check; skipped on the hot path, where the small-scale bitwise-parity
+    tests enforce the contract instead).
+    """
+    directory = Path(directory)
+    try:
+        meta = json.loads((directory / _META).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if meta.get("format") != COLUMN_FORMAT or meta.get("kind") != "columns":
+        return None
+    manifest = meta.get("files")
+    granularity = meta.get("granularity")
+    key = meta.get("key")
+    if not isinstance(manifest, dict) or not isinstance(granularity, str) or not key:
+        return None
+    try:
+        for name, entry in manifest.items():
+            path = directory / name
+            if path.stat().st_size != entry.get("bytes"):
+                return None
+            if verify:
+                digest = hashlib.sha256(path.read_bytes()).hexdigest()
+                if digest != entry.get("sha256"):
+                    return None
+    except OSError:
+        return None
+    return ColumnHandle(
+        directory=str(directory),
+        key=key,
+        granularity=granularity,
+        files=tuple(
+            (name, int(manifest[name]["bytes"]), str(manifest[name]["sha256"]))
+            for name in sorted(manifest)
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cache lifecycle
+# ---------------------------------------------------------------------------
+
+
+def prune_cache(cache_dir: Path | str, apply: bool = False) -> list[Path]:
+    """Find (and with ``apply=True`` remove) stale cache entries.
+
+    The content-addressed key means a stale entry is never *loaded* —
+    but nothing ever deleted it either, so directories written by old
+    code versions accumulate forever.  Stale = a ``scenario-*`` or
+    ``columns-*`` entry whose recorded code version no longer matches
+    the current one, whose metadata is unreadable, or a leftover
+    ``.tmp-*`` publish directory from a crashed writer.  Returns the
+    stale paths (sorted); the default is a dry run.
+    """
+    cache_dir = Path(cache_dir)
+    stale: list[Path] = []
+    current = code_version()
+    if not cache_dir.is_dir():
+        return stale
+    for entry in sorted(cache_dir.iterdir()):
+        if not entry.is_dir():
+            continue
+        name = entry.name
+        if not (name.startswith("scenario-") or name.startswith("columns-")):
+            continue
+        if ".tmp-" in name:
+            stale.append(entry)
+            continue
+        try:
+            meta = json.loads((entry / _META).read_text())
+        except (OSError, json.JSONDecodeError):
+            stale.append(entry)
+            continue
+        if meta.get("code_version") != current:
+            stale.append(entry)
+    if apply:
+        for entry in stale:
+            shutil.rmtree(entry, ignore_errors=True)
+    return stale
 
 
 def setup_worldgen(

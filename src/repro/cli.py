@@ -36,11 +36,13 @@ import time
 from pathlib import Path
 
 from repro.datasets import (
+    STREAMING_SCALES,
     build_extraction_pipeline,
     build_scenario,
     medium_config,
     small_config,
     tiny_config,
+    web_config,
 )
 from repro.endtoend import PIPELINE_BACKENDS, PIPELINE_METHODS
 from repro.experiments import experiment_ids, run_experiment
@@ -51,7 +53,13 @@ _SCALES = {
     "tiny": tiny_config,
     "small": small_config,
     "medium": medium_config,
+    "web": web_config,
 }
+
+#: Scales whose corpus fits in memory; every subcommand accepts these.
+#: The streaming scales (``web``) are pipeline-only — the other commands
+#: materialise the corpus/record list, which the out-of-core tier forbids.
+_MATERIALISED_SCALES = sorted(set(_SCALES) - STREAMING_SCALES)
 
 _FUSE_METHODS = PIPELINE_METHODS
 
@@ -67,7 +75,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiment", help="experiment id, e.g. fig9, or 'all'")
     run_parser.add_argument(
         "--scale",
-        choices=sorted(_SCALES),
+        choices=_MATERIALISED_SCALES,
         default="small",
         help="scenario preset (default: small)",
     )
@@ -87,7 +95,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fuse_parser.add_argument(
         "--scale",
-        choices=sorted(_SCALES),
+        choices=_MATERIALISED_SCALES,
         default="small",
         help="scenario preset (default: small)",
     )
@@ -110,7 +118,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     extract_parser.add_argument(
         "--scale",
-        choices=sorted(_SCALES),
+        choices=_MATERIALISED_SCALES,
         default="small",
         help="scenario preset (default: small)",
     )
@@ -144,7 +152,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scale",
         choices=sorted(_SCALES),
         default="small",
-        help="scenario preset (default: small)",
+        help="scenario preset (default: small); 'web' streams the corpus "
+        "out of core (see docs/SCALING.md)",
     )
     pipeline_parser.add_argument("--seed", type=int, default=0, help="master seed")
     pipeline_parser.add_argument(
@@ -158,8 +167,39 @@ def _build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="scenario artifact cache directory: warm runs load worldgen "
-        "bit-identically in milliseconds (default: no on-disk cache)",
+        "bit-identically in milliseconds; at --scale web it also holds the "
+        "memory-mapped claim columns (default: no on-disk cache)",
     )
+    pipeline_parser.add_argument(
+        "--chunk-pages",
+        type=int,
+        default=2048,
+        help="streaming scales only: pages generated and extracted per "
+        "chunk (default: 2048); the chunk size never changes the output",
+    )
+
+    cache_parser = sub.add_parser(
+        "cache", help="manage the on-disk artifact cache"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    prune_parser = cache_sub.add_parser(
+        "prune",
+        help="list (default) or delete stale cache entries: interrupted "
+        ".tmp- publishes, unreadable metadata, and artifacts from old "
+        "code versions",
+    )
+    prune_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        required=True,
+        help="artifact cache directory to prune",
+    )
+    prune_parser.add_argument(
+        "--apply",
+        action="store_true",
+        help="actually delete the stale entries (default: dry run)",
+    )
+
     lint_parser = sub.add_parser(
         "lint",
         help="statically check the determinism/payload/parity contracts",
@@ -286,9 +326,62 @@ def _run_extract(args) -> int:
     return 0
 
 
-def _run_pipeline(args) -> int:
-    from repro.endtoend import run_end_to_end
+def _run_streaming_pipeline(args) -> int:
+    from repro.endtoend import run_streaming_pipeline
     from repro.errors import ConfigError
+
+    try:
+        result = run_streaming_pipeline(
+            config=_SCALES[args.scale](seed=args.seed),
+            method=args.method,
+            backend=args.backend,
+            n_workers=args.workers,
+            chunk_pages=args.chunk_pages,
+            cache_dir=args.cache_dir,
+        )
+    except ConfigError as err:
+        print(f"repro-kf pipeline: error: {err}", file=sys.stderr)
+        return 2
+
+    timings, metrics, diagnostics = result.timings, result.metrics, result.diagnostics
+    print(f"method:        {result.fusion.method}")
+    print(f"backend:       {result.backend} (streaming)")
+    print(f"backend used:  {diagnostics.get('backend_used', 'serial')}")
+    print(f"parity:        {diagnostics.get('parity', 'bitwise')}")
+    print(f"sampling:      {diagnostics.get('sampling', 'unbounded')}")
+    if "round_state" in diagnostics:
+        print(f"round state:   {diagnostics['round_state']}")
+    print(f"column store:  {diagnostics['column_store']}")
+    if "n_workers" in diagnostics:
+        print(f"workers:       {diagnostics['n_workers']}")
+    if "fallbacks_tiny" in diagnostics:
+        print(
+            f"fallbacks:     {diagnostics['fallbacks_tiny']} tiny, "
+            f"{diagnostics['fallbacks_unpicklable']} unpicklable, "
+            f"{diagnostics.get('fallbacks_shm', 0)} shm"
+        )
+    print(
+        f"pages:         {result.n_pages} -> records: {result.n_records} "
+        f"({diagnostics['n_chunks']} chunks of {diagnostics['chunk_pages']})"
+    )
+    for stage in ("setup", "extraction", "labeling", "matrix", "fusion", "total"):
+        print(f"{stage + ':':<15}{timings[stage]:.3f}s")
+    print(f"peak rss:      {diagnostics['peak_rss_mb']:.1f} MiB")
+    print(f"rounds:        {result.fusion.rounds} (converged: {result.fusion.converged})")
+    print(f"triples:       {len(result.fusion.probabilities)}")
+    print(f"coverage:      {metrics['coverage']:.4f}")
+    print(f"deviation:     {metrics['deviation']:.4f} (weighted: {metrics['weighted_deviation']:.4f})")
+    print(f"auc-pr:        {metrics['auc_pr']:.4f}")
+    print(f"gold accuracy: {metrics['gold_accuracy']:.4f} (n={metrics['n_labelled']})")
+    return 0
+
+
+def _run_pipeline(args) -> int:
+    from repro.endtoend import peak_rss_mb, run_end_to_end
+    from repro.errors import ConfigError
+
+    if args.scale in STREAMING_SCALES:
+        return _run_streaming_pipeline(args)
 
     try:
         result = run_end_to_end(
@@ -325,12 +418,29 @@ def _run_pipeline(args) -> int:
     )
     for stage in ("setup", "extraction", "labeling", "fusion", "total"):
         print(f"{stage + ':':<15}{timings[stage]:.3f}s")
+    print(f"peak rss:      {peak_rss_mb():.1f} MiB")
     print(f"rounds:        {result.fusion.rounds} (converged: {result.fusion.converged})")
     print(f"triples:       {len(result.fusion.probabilities)}")
     print(f"coverage:      {metrics['coverage']:.4f}")
     print(f"deviation:     {metrics['deviation']:.4f} (weighted: {metrics['weighted_deviation']:.4f})")
     print(f"auc-pr:        {metrics['auc_pr']:.4f}")
     print(f"gold accuracy: {metrics['gold_accuracy']:.4f} (n={metrics['n_labelled']})")
+    return 0
+
+
+def _run_cache(args) -> int:
+    from repro.artifacts import prune_cache
+
+    stale = prune_cache(args.cache_dir, apply=args.apply)
+    if not stale:
+        print(f"cache {args.cache_dir}: nothing stale")
+        return 0
+    verb = "pruned" if args.apply else "would prune"
+    for path in stale:
+        print(f"{verb}: {path}")
+    if not args.apply:
+        print(f"{len(stale)} stale entr{'y' if len(stale) == 1 else 'ies'} "
+              "(dry run; pass --apply to delete)")
     return 0
 
 
@@ -358,6 +468,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_extract(args)
     if args.command == "pipeline":
         return _run_pipeline(args)
+    if args.command == "cache":
+        return _run_cache(args)
     if args.command == "lint":
         return _run_lint(args)
     scenario = build_scenario(_SCALES[args.scale](seed=args.seed))

@@ -9,7 +9,13 @@ calibrated against the paper's Table 2.
 """
 
 from repro.datasets.profiles import EXTRACTOR_PROFILES, profile_by_name
-from repro.datasets.presets import tiny_config, small_config, medium_config
+from repro.datasets.presets import (
+    STREAMING_SCALES,
+    medium_config,
+    small_config,
+    tiny_config,
+    web_config,
+)
 from repro.datasets.scenario import (
     Scenario,
     ScenarioConfig,
@@ -23,6 +29,8 @@ __all__ = [
     "tiny_config",
     "small_config",
     "medium_config",
+    "web_config",
+    "STREAMING_SCALES",
     "Scenario",
     "ScenarioConfig",
     "build_scenario",

@@ -39,6 +39,7 @@ __all__ = [
     "build_scenario",
     "build_extraction_pipeline",
     "label_gold",
+    "label_gold_triples",
 ]
 
 
@@ -137,7 +138,19 @@ def label_gold(
     :func:`repro.endtoend.run_end_to_end`, so the two construction paths
     cannot drift.
     """
-    unique = sorted({record.triple for record in records})
+    return label_gold_triples(freebase, sorted({record.triple for record in records}))
+
+
+def label_gold_triples(
+    freebase: KnowledgeBase, unique: list[Triple]
+) -> dict[Triple, bool]:
+    """LCWA labels for an already-deduplicated sorted triple list.
+
+    The streaming pipeline never holds its extraction records, only the
+    accumulated claim rows — this is :func:`label_gold` with the
+    dedup/sort step supplied by the caller (the rows are exactly the
+    unique triples, so the two definitions coincide).
+    """
     return LCWALabeler(freebase).label_many(unique)
 
 

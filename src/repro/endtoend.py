@@ -27,6 +27,8 @@ quantities the golden regression test freezes for the ``small`` scenario.
 
 from __future__ import annotations
 
+import resource
+import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -37,20 +39,34 @@ from repro.datasets.scenario import (
     ScenarioConfig,
     build_extraction_pipeline,
     label_gold,
+    label_gold_triples,
 )
 from repro.errors import ConfigError
 from repro.experiments.common import metrics_for
 from repro.fusion.base import FusionConfig, FusionResult, Fuser
+from repro.fusion.matrix import (
+    ClaimAccumulator,
+    ColumnarFusionInput,
+    MappedColumnarClaims,
+    persist_columns,
+)
 from repro.fusion.presets import accu, popaccu, popaccu_plus, popaccu_plus_unsup, vote
 from repro.kb.triples import Triple
 from repro.mapreduce.executors import Executor, ParallelExecutor, SerialExecutor
+from repro.world.facts import build_freebase_snapshot
+from repro.world.webgen import stream_corpus
+from repro.world.worldgen import generate_world
 
 __all__ = [
     "PIPELINE_BACKENDS",
     "PIPELINE_METHODS",
+    "STREAMING_PIPELINE_BACKENDS",
     "EndToEndResult",
+    "StreamingResult",
     "make_fuser",
+    "peak_rss_mb",
     "run_end_to_end",
+    "run_streaming_pipeline",
 ]
 
 #: Fusion method presets the pipeline (and the CLI) can run.
@@ -76,6 +92,33 @@ _FUSION_BACKEND = {
     "parallel": "parallel",
     "hybrid": "hybrid",
 }
+
+#: Backends the *streaming* pipeline supports.  ``serial`` is excluded
+#: by design: serial fusion materialises the dict claim views, which is
+#: exactly what the out-of-core tier must never do (docs/SCALING.md has
+#: the memory model).  Each remaining backend maps to a column-native
+#: fusion backend with a declared parity contract — ``batched`` runs
+#: fusion vectorized (the serial-executor column path), not serial.
+STREAMING_PIPELINE_BACKENDS = ("batched", "parallel", "hybrid")
+
+_STREAM_FUSION_BACKEND = {
+    "batched": "vectorized",
+    "parallel": "parallel",
+    "hybrid": "hybrid",
+}
+
+
+def peak_rss_mb() -> float:
+    """This process's peak resident set size, in MiB.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; the web-tier
+    bench envelope records this number and asserts it against the
+    documented ceiling.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024 * 1024)
+    return peak / 1024
 
 
 def make_fuser(
@@ -260,12 +303,188 @@ def run_end_to_end(
         diagnostics["fallbacks_shm"] = executor.fallbacks_shm
         diagnostics["n_workers"] = executor.max_workers
         diagnostics["round_state"] = executor.round_state_channel
+        diagnostics["state_bytes_shipped"] = executor.state_bytes_shipped
 
     return EndToEndResult(
         scenario=scenario,
         fusion=fusion_result,
         backend=backend,
         n_workers=n_workers,
+        timings=timings,
+        metrics=headline_metrics(fusion_result, gold),
+        diagnostics=diagnostics,
+    )
+
+
+@dataclass
+class StreamingResult:
+    """Everything one out-of-core pipeline run produced.
+
+    The streaming twin of :class:`EndToEndResult` — there is no
+    ``scenario`` because nothing corpus-sized survives the run: pages
+    and records exist one chunk at a time and the claim matrix lives in
+    (optionally memory-mapped) columns.  ``timings`` adds a ``matrix``
+    stage (claim-column assembly + persistence) to the usual keys.
+    """
+
+    fusion: FusionResult
+    backend: str
+    n_workers: int | None
+    n_pages: int
+    n_records: int
+    timings: dict[str, float] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+    diagnostics: dict = field(default_factory=dict)
+
+
+def run_streaming_pipeline(
+    config: ScenarioConfig,
+    method: str = "popaccu+",
+    fusion_config: FusionConfig | None = None,
+    backend: str = "hybrid",
+    n_workers: int | None = None,
+    chunk_pages: int = 2048,
+    copy_window: int | None = 1024,
+    cache_dir: str | Path | None = None,
+) -> StreamingResult:
+    """Run the pipeline out of core: chunked worldgen + extraction,
+    accumulated claim columns, memory-mapped fusion.
+
+    The ``web`` scale tier's entry point.  Pages are generated and
+    extracted ``chunk_pages`` at a time
+    (:func:`repro.world.webgen.stream_corpus` →
+    :meth:`~repro.extract.pipeline.ExtractionPipeline.run_stream`) and
+    folded straight into a
+    :class:`~repro.fusion.matrix.ClaimAccumulator`; the corpus and the
+    record list are never materialised.  With ``cache_dir`` set the
+    claim columns are published to the content-addressed column store
+    and fusion runs over read-only memory-mapped views
+    (``diagnostics["column_store"] = "mapped"``); workers receive a
+    ~300-byte :class:`~repro.artifacts.ColumnHandle` and re-map the
+    files zero-copy.  Without it fusion runs over the in-memory columns
+    (``"memory"``) — bitwise-identical either way, by test.
+
+    ``backend`` must be one of :data:`STREAMING_PIPELINE_BACKENDS`;
+    ``serial`` is rejected because serial fusion rebuilds the dict claim
+    views.  ``diagnostics["peak_rss_mb"]`` records the process peak RSS
+    after the run.
+    """
+    if backend not in STREAMING_PIPELINE_BACKENDS:
+        raise ConfigError(
+            f"streaming pipeline backend must be one of "
+            f"{STREAMING_PIPELINE_BACKENDS}, got {backend!r} — the serial "
+            "path materialises dict claim views, which the out-of-core "
+            "tier forbids (see docs/SCALING.md)"
+        )
+    if method not in PIPELINE_METHODS:
+        raise ConfigError(
+            f"unknown fusion method {method!r}; expected one of {PIPELINE_METHODS}"
+        )
+    if fusion_config is None:
+        fusion_config = FusionConfig(
+            seed=config.seed,
+            backend=_STREAM_FUSION_BACKEND[backend],
+            n_workers=n_workers,
+        )
+    # The fuser preset decides the effective provenance granularity
+    # (POPACCU+ overrides it); the accumulator must fold records at that
+    # granularity, so resolve it from a gold-less probe fuser up front.
+    granularity = make_fuser(method, fusion_config, {}).config.granularity
+
+    executor = (
+        ParallelExecutor(max_workers=n_workers)
+        if backend in ("parallel", "hybrid")
+        else SerialExecutor()
+    )
+    timings: dict[str, float] = {}
+    start_total = time.perf_counter()
+    mapped: MappedColumnarClaims | None = None
+    try:
+        start = time.perf_counter()
+        world = generate_world(config.world, config.seed)
+        freebase = build_freebase_snapshot(world)
+        pipeline = build_extraction_pipeline(config, world)
+        timings["setup"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        accumulator = ClaimAccumulator(granularity)
+        n_pages = 0
+        n_records = 0
+        n_chunks = 0
+
+        def counted_chunks():
+            nonlocal n_pages
+            for pages in stream_corpus(
+                world, config.web, config.seed, chunk_pages, copy_window
+            ):
+                n_pages += len(pages)
+                yield pages
+
+        for records in pipeline.run_stream(
+            counted_chunks(), backend=backend, executor=executor
+        ):
+            accumulator.add_records(records)
+            n_records += len(records)
+            n_chunks += 1
+        timings["extraction"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        gold = label_gold_triples(freebase, accumulator.unique_triples())
+        timings["labeling"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cols = accumulator.build()
+        accumulator.release()
+        column_store = "memory"
+        if cache_dir is not None:
+            try:
+                mapped = persist_columns(cols, cache_dir)
+                cols = mapped
+                column_store = "mapped"
+            except OSError:
+                # An unwritable/full cache directory degrades to the
+                # in-memory columns — same bits, higher RSS.
+                column_store = "memory (persist fallback)"
+        timings["matrix"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        fuser = make_fuser(method, fusion_config, gold)
+        fusion_result = fuser.fuse(ColumnarFusionInput(cols), executor=executor)
+        timings["fusion"] = time.perf_counter() - start
+    finally:
+        executor.close()
+        if mapped is not None:
+            mapped.close()
+    timings["total"] = time.perf_counter() - start_total
+
+    diagnostics = dict(fusion_result.diagnostics)
+    diagnostics["n_records"] = n_records
+    diagnostics["n_pages"] = n_pages
+    diagnostics["n_chunks"] = n_chunks
+    diagnostics["chunk_pages"] = chunk_pages
+    diagnostics["copy_window"] = copy_window
+    diagnostics["column_store"] = column_store
+    diagnostics["extraction_synthesis"] = (
+        "batched" if backend in ("batched", "hybrid") else "scalar"
+    )
+    fallbacks = pipeline.synthesis_fallbacks()
+    if fallbacks:
+        diagnostics["synthesis_fallbacks"] = ",".join(fallbacks)
+    if isinstance(executor, ParallelExecutor):
+        diagnostics["fallbacks_tiny"] = executor.fallbacks_tiny
+        diagnostics["fallbacks_unpicklable"] = executor.fallbacks_unpicklable
+        diagnostics["fallbacks_shm"] = executor.fallbacks_shm
+        diagnostics["n_workers"] = executor.max_workers
+        diagnostics["round_state"] = executor.round_state_channel
+        diagnostics["state_bytes_shipped"] = executor.state_bytes_shipped
+    diagnostics["peak_rss_mb"] = round(peak_rss_mb(), 1)
+
+    return StreamingResult(
+        fusion=fusion_result,
+        backend=backend,
+        n_workers=n_workers,
+        n_pages=n_pages,
+        n_records=n_records,
         timings=timings,
         metrics=headline_metrics(fusion_result, gold),
         diagnostics=diagnostics,

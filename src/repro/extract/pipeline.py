@@ -292,6 +292,62 @@ class ExtractionPipeline:
                 executor.uninstall_state(EXTRACT_FLEET_KEY)
         return [record for page_records in per_page for record in page_records]
 
+    def run_stream(
+        self,
+        chunks,
+        backend: str | None = None,
+        n_workers: int | None = None,
+        executor: Executor | None = None,
+    ):
+        """Extract page chunks one at a time: the out-of-core twin of :meth:`run`.
+
+        ``chunks`` is an iterable of page lists (e.g.
+        :func:`repro.world.webgen.stream_corpus`); each chunk is sharded
+        through the same map job :meth:`run` uses — same backends, same
+        wire codec, same per-page record order — and yields that chunk's
+        flattened record list.  The fleet is installed pool-resident
+        *once* for the whole stream (per-chunk install/withdraw would
+        restart the pool on every chunk), and withdrawn when the stream
+        ends; peak memory is one chunk of pages plus its records.
+        """
+        requested = backend if backend is not None else self.backend
+        if requested not in EXTRACTION_BACKENDS:
+            raise ConfigError(
+                f"extraction backend must be one of {EXTRACTION_BACKENDS}, "
+                f"got {requested!r}"
+            )
+        owns_executor = executor is None
+        if executor is None:
+            if requested in _POOLED_BACKENDS:
+                executor = ParallelExecutor(
+                    max_workers=n_workers if n_workers is not None else self.n_workers
+                )
+            else:
+                executor = SerialExecutor()
+        executor.install_state(EXTRACT_FLEET_KEY, tuple(self.extractors))
+        map_shard = (
+            _extract_shard_batched
+            if requested in _BATCHED_SYNTHESIS_BACKENDS
+            else _extract_shard
+        )
+        job = ShardedMapJob(
+            name="extract.pages",
+            map_shard=map_shard,
+            key_fn=_page_url,
+            codec=RECORD_WIRE_CODEC,
+        )
+        try:
+            for pages in chunks:
+                per_page = executor.run_map(list(pages), job)
+                yield [
+                    record for page_records in per_page for record in page_records
+                ]
+        finally:
+            if owns_executor:
+                executor.close()
+            else:
+                executor.uninstall_state(EXTRACT_FLEET_KEY)
+
     def synthesis_fallbacks(self) -> tuple[str, ...]:
         """Names of extractors without a batched synthesis kernel.
 

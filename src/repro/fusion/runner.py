@@ -95,6 +95,7 @@ from repro.fusion.base import (
     parity_of,
     sampling_contract_of,
 )
+from repro.fusion.matrix import ColumnarClaimMatrix
 from repro.fusion.observations import ColumnarClaims, FusionInput, ProvKey
 from repro.kb.triples import Triple
 from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
@@ -600,6 +601,58 @@ def _finalize_scalar_result(
     return result
 
 
+def _finalize_columnar_result(
+    cols: ColumnarClaims,
+    posteriors: dict[Triple, float],
+    accuracies: dict[ProvKey, float],
+    config: FusionConfig,
+    method_name: str,
+    rounds_run: int,
+    converged: bool,
+    round_probabilities: list[dict[Triple, float]] | None,
+    diagnostics: dict,
+) -> FusionResult:
+    """Stage III over the columns — no dict claim views required.
+
+    The column-native twin of :func:`_finalize_scalar_result` for inputs
+    that never built a record-backed ``ClaimMatrix`` (the out-of-core
+    path, where the dict views would cost gigabytes).  Value-identical
+    to the scalar version: rows are unique triples, a row's claim span
+    lists provenance ids ascending, and ascending provenance id *is*
+    ``sorted(provs)`` order because the provenance vocabulary is sorted
+    — so the θ-fallback mean sums in exactly the same order.
+    """
+    probabilities: dict[Triple, float] = {}
+    unpredicted: set[Triple] = set()
+    provenances = cols.provenances
+    claim_prov = cols.claim_prov
+    row_ptr = cols.row_ptr
+    for r, triple in enumerate(cols.triples):
+        if triple in posteriors:
+            probabilities[triple] = posteriors[triple]
+        elif config.min_accuracy is not None:
+            row_prov_ids = claim_prov[int(row_ptr[r]) : int(row_ptr[r + 1])].tolist()
+            probabilities[triple] = sum(
+                accuracies[provenances[p]] for p in row_prov_ids
+            ) / len(row_prov_ids)
+        else:
+            unpredicted.add(triple)
+
+    result = FusionResult(
+        method=method_name,
+        probabilities=probabilities,
+        unpredicted=unpredicted,
+        accuracies=accuracies,
+        rounds=rounds_run,
+        converged=converged,
+        diagnostics=diagnostics,
+    )
+    if round_probabilities is not None:
+        result.diagnostics["round_probabilities"] = round_probabilities
+    result.validate()
+    return result
+
+
 def _run_parallel_columnar(
     matrix,
     cols: ColumnarClaims,
@@ -752,6 +805,33 @@ def _run_parallel_columnar(
     accuracies_out = {
         prov: float(accuracies[p]) for p, prov in enumerate(cols.provenances)
     }
+    diagnostics = {
+        "n_items": cols.n_items,
+        "n_provenances": n_provs,
+        "n_claims": cols.n_claims,
+        "gold_initialized": gold_initialized,
+        "n_active_final": int(active_mask(rounds_run).sum()),
+        "backend": requested,
+        "backend_used": backend_used,
+        "parity": parity_of(backend_used),
+        "sampling": sampling_contract_of(config),
+        "round_state": round_state_channel,
+        **fallback_diagnostics,
+    }
+    if isinstance(matrix, ColumnarClaimMatrix):
+        # Column-backed input (the out-of-core path): finalize straight
+        # from the columns so the dict claim views never materialise.
+        return _finalize_columnar_result(
+            cols=cols,
+            posteriors=posteriors,
+            accuracies=accuracies_out,
+            config=config,
+            method_name=method_name,
+            rounds_run=rounds_run,
+            converged=converged,
+            round_probabilities=round_probabilities if track_rounds else None,
+            diagnostics=diagnostics,
+        )
     return _finalize_scalar_result(
         matrix=matrix,
         posteriors=posteriors,
@@ -761,19 +841,7 @@ def _run_parallel_columnar(
         rounds_run=rounds_run,
         converged=converged,
         round_probabilities=round_probabilities if track_rounds else None,
-        diagnostics={
-            "n_items": cols.n_items,
-            "n_provenances": n_provs,
-            "n_claims": cols.n_claims,
-            "gold_initialized": gold_initialized,
-            "n_active_final": int(active_mask(rounds_run).sum()),
-            "backend": requested,
-            "backend_used": backend_used,
-            "parity": parity_of(backend_used),
-            "sampling": sampling_contract_of(config),
-            "round_state": round_state_channel,
-            **fallback_diagnostics,
-        },
+        diagnostics=diagnostics,
     )
 
 

@@ -614,6 +614,7 @@ class ParallelExecutor:
         self.fallbacks_tiny = 0  # jobs too small for dispatch to pay off
         self.fallbacks_unpicklable = 0  # jobs whose work unit cannot pickle
         self.fallbacks_shm = 0  # round-state installs that crossed inline
+        self.state_bytes_shipped = 0  # cumulative pickled install payloads
         self._pool: ProcessPoolExecutor | None = None
         self._state_blobs: dict[str, bytes] = {}
         self._installed: dict[str, Any] = {}
@@ -631,6 +632,19 @@ class ParallelExecutor:
             + self.fallbacks_unpicklable
             + self.fallbacks_shm
         )
+
+    @property
+    def state_bytes(self) -> int:
+        """Pickled bytes of the currently installed pool-resident state.
+
+        What a pool (re)start ships to *each* worker.  The out-of-core
+        tier's headline: memory-mapped claim columns install as a
+        ~kilobyte :class:`~repro.artifacts.ColumnHandle` here where the
+        in-memory columns would ship megabytes per worker
+        (``state_bytes_shipped`` accumulates the same quantity across
+        the executor's whole life).
+        """
+        return sum(len(blob) for blob in self._state_blobs.values())
 
     @property
     def round_state_channel(self) -> str:
@@ -671,6 +685,7 @@ class ParallelExecutor:
         if self._state_blobs.get(key) == blob:
             return
         self._state_blobs[key] = blob
+        self.state_bytes_shipped += len(blob)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

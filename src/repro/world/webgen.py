@@ -15,7 +15,9 @@ the analysis ground truth separating source errors from extraction errors.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -45,7 +47,13 @@ from repro.world.labels import (
 )
 from repro.world.literals import DATE_STYLE_EU, DATE_STYLE_ISO, DATE_STYLE_US, render_value
 
-__all__ = ["SiteProfile", "WebPage", "WebCorpus", "generate_corpus"]
+__all__ = [
+    "SiteProfile",
+    "WebPage",
+    "WebCorpus",
+    "generate_corpus",
+    "stream_corpus",
+]
 
 _CATEGORIES = ("wiki", "news", "general")
 
@@ -511,6 +519,63 @@ def generate_corpus(world: World, config: WebConfig, seed: int) -> WebCorpus:
     rng = named_rng(seed, "webgen")
     sites = _make_sites(world, config, rng)
     corpus = WebCorpus(config=config, sites=sites)
+    # The copy pool is corpus.pages itself: every generated page both
+    # lands in the corpus and becomes a copy source for later pages.
+    for _ in _corpus_pages(world, config, rng, sites, corpus.pages):
+        pass
+    return corpus
+
+
+def stream_corpus(
+    world: World,
+    config: WebConfig,
+    seed: int,
+    chunk_pages: int = 2048,
+    copy_window: int | None = 1024,
+):
+    """Yield the corpus as page chunks without materialising it.
+
+    The out-of-core generator behind the ``web`` scale tier: pages are
+    produced by the same per-page dataflow as :func:`generate_corpus`
+    but handed out ``chunk_pages`` at a time, and the copy-source pool
+    is a bounded window of the last ``copy_window`` generated pages
+    instead of the whole corpus — memory stays O(window + chunk) no
+    matter how many pages the config asks for.  With
+    ``copy_window=None`` the pool is unbounded and the concatenated
+    chunks equal ``generate_corpus(...).pages`` exactly (the streaming
+    parity anchor); any finite window defines its own corpus — the
+    ``web`` tier's semantics, deterministic in ``(config, seed,
+    window)``.
+    """
+    if chunk_pages < 1:
+        raise ValueError(f"chunk_pages must be >= 1, got {chunk_pages}")
+    rng = named_rng(seed, "webgen")
+    sites = _make_sites(world, config, rng)
+    pool: object = [] if copy_window is None else deque(maxlen=copy_window)
+    chunk: list[WebPage] = []
+    for page in _corpus_pages(world, config, rng, sites, pool):
+        chunk.append(page)
+        if len(chunk) >= chunk_pages:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def _corpus_pages(
+    world: World,
+    config: WebConfig,
+    rng: np.random.Generator,
+    sites: dict[str, SiteProfile],
+    pool,
+) -> "Iterator[WebPage]":
+    """The shared per-page dataflow of corpus generation.
+
+    Yields each kept page after appending it to ``pool`` — the copy
+    branch samples its source from ``pool``, so the caller chooses the
+    copy semantics: the growing corpus list (:func:`generate_corpus`)
+    or a bounded recent-page window (:func:`stream_corpus`).
+    """
     templates = build_templates(world.schema)
 
     domains = sorted(sites)
@@ -530,8 +595,8 @@ def generate_corpus(world: World, config: WebConfig, seed: int) -> WebCorpus:
 
         assertions: list[SourceAssertion] = []
         # Copying: clone a slice of an earlier page (errors included).
-        if corpus.pages and rng.random() < config.copy_rate:
-            source = corpus.pages[int(rng.integers(len(corpus.pages)))]
+        if pool and rng.random() < config.copy_rate:
+            source = pool[int(rng.integers(len(pool)))]
             if source.assertions:
                 take = int(rng.integers(1, len(source.assertions) + 1))
                 picked = rng.choice(
@@ -598,13 +663,12 @@ def generate_corpus(world: World, config: WebConfig, seed: int) -> WebCorpus:
             if table is not None:
                 elements.append(table)
 
-        corpus.pages.append(
-            WebPage(
-                url=url,
-                site=domain,
-                category=site.category,
-                assertions=tuple(assertions),
-                elements=tuple(elements),
-            )
+        page = WebPage(
+            url=url,
+            site=domain,
+            category=site.category,
+            assertions=tuple(assertions),
+            elements=tuple(elements),
         )
-    return corpus
+        pool.append(page)
+        yield page

@@ -353,3 +353,51 @@ class TestCommittedBaselines:
     def test_extraction_baseline_times_both_synthesis_paths(self):
         baseline = cmp.load_baseline("extraction_stages")
         assert {"synthesis", "synthesis_batch"} <= set(baseline["stages"])
+
+
+class TestScaleQualifiedStems:
+    """Scale tiers get their own envelope/baseline stems, so the web
+    tier's structure and timings never gate the small tier's."""
+
+    def test_default_scales_keep_the_bare_stem(self):
+        assert cmp.stem_of("pipeline") == "pipeline"
+        assert cmp.stem_of("pipeline", None) == "pipeline"
+        assert cmp.stem_of("pipeline", "small") == "pipeline"
+
+    def test_other_scales_qualify(self):
+        assert cmp.stem_of("pipeline", "web") == "pipeline--web"
+        assert cmp.stem_of("pipeline", "tiny") == "pipeline--tiny"
+        assert cmp.stem_of("extraction_stages", "web") == "extraction_stages--web"
+
+    def test_bless_routes_by_scale(self, tmp_path):
+        cmp.update_baseline(make_envelope(), tmp_path)
+        cmp.update_baseline(make_envelope(scale="web"), tmp_path)
+        assert (tmp_path / "BASELINE_pipeline.json").exists()
+        assert (tmp_path / "BASELINE_pipeline--web.json").exists()
+        small = cmp.load_baseline("pipeline", tmp_path)
+        web = cmp.load_baseline("pipeline--web", tmp_path)
+        assert small["scale"] == "small" and web["scale"] == "web"
+
+    def test_web_round_trip_gates_cleanly(self, tmp_path):
+        envelope = make_envelope(scale="web")
+        cmp.update_baseline(envelope, tmp_path)
+        baseline = cmp.load_baseline(cmp.stem_of("pipeline", "web"), tmp_path)
+        assert cmp.compare_envelope(envelope, baseline).ok
+
+    def test_committed_web_baseline_pins_the_workload(self):
+        # The web tier's structural gate is live from day one: the
+        # committed baseline must pin the streamed workload shape so a
+        # silent worldgen/extraction change at scale fails CI.
+        baseline = cmp.load_baseline(cmp.stem_of("pipeline", "web"))
+        assert baseline is not None, (
+            "BASELINE_pipeline--web.json is missing — the CI web lane "
+            "has nothing to gate against"
+        )
+        assert baseline["format"] == cmp.BASELINE_FORMAT
+        assert baseline["scale"] == "web"
+        contracts = baseline["contracts"]
+        assert contracts["hybrid_parity"] == "tolerance"
+        assert contracts["round_state"] == "shared-memory"
+        assert contracts["n_records"] > 1_000_000
+        assert contracts["n_pages"] > 70_000
+        assert "hybrid.total" in baseline["stages"]

@@ -1,0 +1,268 @@
+"""Out-of-core claim matrix: accumulator parity and the column store.
+
+Two contracts pin the whole `web` tier to the record-path semantics:
+
+1. **Accumulator parity** — ``ClaimAccumulator`` fed any chunking of the
+   records builds a ``ColumnarClaims`` equal field-for-field to
+   ``ClaimMatrix.build(records, g).columnar()``.  Every downstream
+   backend-parity guarantee rides on this.
+2. **Mapped == in-memory** — a ``MappedColumnarClaims`` re-opened from
+   the published store is numerically identical to the arrays it was
+   built from; the mmap layer is a storage format, never a numeric
+   change.  Plus the lifecycle half: pickling ships only the handle,
+   ``close()`` releases the file descriptors, and a store whose files
+   drifted is a loader *miss*, not a wrong answer.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (
+    ColumnHandle,
+    open_column_store,
+    prune_cache,
+    save_column_store,
+)
+from repro.fusion.matrix import (
+    NUMERIC_COLUMNS,
+    ClaimAccumulator,
+    ColumnarClaimMatrix,
+    ColumnarFusionInput,
+    MappedColumnarClaims,
+    persist_columns,
+)
+from repro.fusion.observations import ClaimMatrix
+from repro.fusion.provenance import Granularity
+
+GRANULARITIES = (
+    Granularity.EXTRACTOR_SITE,
+    Granularity.EXTRACTOR_SITE_PREDICATE_PATTERN,
+)
+
+
+def _chunks(records, size):
+    return [records[i : i + size] for i in range(0, len(records), size)]
+
+
+def _assert_columns_equal(actual, expected):
+    assert actual.granularity == expected.granularity
+    assert list(actual.items) == list(expected.items)
+    assert list(actual.triples) == list(expected.triples)
+    assert list(actual.provenances) == list(expected.provenances)
+    for name in NUMERIC_COLUMNS:
+        got, want = getattr(actual, name), getattr(expected, name)
+        assert got.dtype == want.dtype, name
+        assert np.array_equal(got, want), name
+    assert np.array_equal(actual.canonical_rank(), expected.canonical_rank())
+
+
+def _accumulate(records, granularity, chunk_size):
+    accumulator = ClaimAccumulator(granularity)
+    for chunk in _chunks(records, chunk_size):
+        accumulator.add_records(chunk)
+    return accumulator
+
+
+class TestClaimAccumulator:
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    def test_equals_record_built_columns(self, tiny_scenario, granularity):
+        records = tiny_scenario.records
+        expected = ClaimMatrix.build(records, granularity).columnar()
+        built = _accumulate(records, granularity, 97).build()
+        _assert_columns_equal(built, expected)
+
+    def test_chunking_is_invisible(self, tiny_scenario):
+        records = tiny_scenario.records
+        granularity = Granularity.EXTRACTOR_SITE
+        one = _accumulate(records, granularity, len(records)).build()
+        many = _accumulate(records, granularity, 13).build()
+        _assert_columns_equal(many, one)
+
+    def test_unique_triples_sorted(self, tiny_scenario):
+        records = tiny_scenario.records
+        accumulator = _accumulate(records, Granularity.EXTRACTOR_SITE, 50)
+        assert accumulator.unique_triples() == sorted(
+            {record.triple for record in records}
+        )
+        assert accumulator.n_records == len(records)
+
+    def test_release_drops_state(self, tiny_scenario):
+        accumulator = _accumulate(
+            tiny_scenario.records, Granularity.EXTRACTOR_SITE, 50
+        )
+        accumulator.release()
+        assert accumulator.n_rows == 0
+        assert accumulator.build().n_claims == 0
+
+    def test_empty_chunks_are_noops(self):
+        accumulator = ClaimAccumulator(Granularity.EXTRACTOR_SITE)
+        accumulator.add_records([])
+        cols = accumulator.build()
+        assert cols.n_rows == 0 and cols.n_claims == 0
+
+
+@pytest.fixture
+def tiny_columns(tiny_scenario):
+    return ClaimMatrix.build(
+        tiny_scenario.records, Granularity.EXTRACTOR_SITE
+    ).columnar()
+
+
+class TestMappedColumns:
+    def test_persist_roundtrip_is_bitwise(self, tiny_columns, tmp_path):
+        mapped = persist_columns(tiny_columns, tmp_path)
+        try:
+            _assert_columns_equal(mapped, tiny_columns)
+            assert mapped.objects_loaded()  # adopted, no re-unpickle
+        finally:
+            mapped.close()
+
+    def test_reopened_store_loads_objects_lazily(self, tiny_columns, tmp_path):
+        handle = persist_columns(tiny_columns, tmp_path).handle
+        reopened = MappedColumnarClaims(handle)
+        try:
+            assert not reopened.objects_loaded()
+            # Numeric access must not force objects.pkl...
+            assert reopened.n_claims == tiny_columns.n_claims
+            assert not reopened.objects_loaded()
+            # ...while object access loads them, once, equal.
+            assert list(reopened.triples) == list(tiny_columns.triples)
+            assert reopened.objects_loaded()
+        finally:
+            reopened.close()
+
+    def test_pickle_ships_only_the_handle(self, tiny_columns, tmp_path):
+        mapped = persist_columns(tiny_columns, tmp_path)
+        try:
+            blob = pickle.dumps(mapped)
+            assert len(blob) < 2048
+            clone = pickle.loads(blob)
+            try:
+                assert not clone.objects_loaded()
+                _assert_columns_equal(clone, tiny_columns)
+            finally:
+                clone.close()
+        finally:
+            mapped.close()
+
+    @pytest.mark.skipif(
+        sys.platform != "linux", reason="/proc/self/fd is Linux-only"
+    )
+    def test_close_releases_file_descriptors(self, tiny_columns, tmp_path):
+        before = len(os.listdir("/proc/self/fd"))
+        mapped = MappedColumnarClaims(persist_columns(tiny_columns, tmp_path).handle)
+        assert len(os.listdir("/proc/self/fd")) > before
+        mapped.close()
+        assert mapped.closed
+        assert len(os.listdir("/proc/self/fd")) == before
+        mapped.close()  # idempotent
+
+    def test_publish_leaves_no_tmp_dirs(self, tiny_columns, tmp_path):
+        persist_columns(tiny_columns, tmp_path).close()
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp-" in p.name]
+        assert leftovers == []
+
+    def test_publish_is_idempotent(self, tiny_columns, tmp_path):
+        first = persist_columns(tiny_columns, tmp_path)
+        second = persist_columns(tiny_columns, tmp_path)
+        try:
+            assert first.handle == second.handle
+            stores = [p for p in tmp_path.iterdir() if p.name.startswith("columns-")]
+            assert len(stores) == 1
+        finally:
+            first.close()
+            second.close()
+
+
+class TestColumnStoreLoader:
+    def _publish(self, tiny_columns, tmp_path) -> ColumnHandle:
+        mapped = persist_columns(tiny_columns, tmp_path)
+        mapped.close()
+        return mapped.handle
+
+    def test_open_hit(self, tiny_columns, tmp_path):
+        handle = self._publish(tiny_columns, tmp_path)
+        reopened = open_column_store(handle.directory, verify=True)
+        assert reopened == handle
+
+    def test_miss_on_size_drift(self, tiny_columns, tmp_path):
+        handle = self._publish(tiny_columns, tmp_path)
+        path = handle.path_of("row_ptr.npy")
+        path.write_bytes(path.read_bytes() + b"\0")
+        assert open_column_store(handle.directory) is None
+
+    def test_miss_on_checksum_drift_only_with_verify(self, tiny_columns, tmp_path):
+        handle = self._publish(tiny_columns, tmp_path)
+        path = handle.path_of("objects.pkl")
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # same size, different content
+        path.write_bytes(bytes(blob))
+        assert open_column_store(handle.directory) is not None
+        assert open_column_store(handle.directory, verify=True) is None
+
+    def test_miss_on_unreadable_meta(self, tiny_columns, tmp_path):
+        handle = self._publish(tiny_columns, tmp_path)
+        handle.path_of("meta.json").write_text("not json")
+        assert open_column_store(handle.directory) is None
+
+
+class TestPruneCache:
+    def test_dry_run_reports_and_keeps(self, tiny_columns, tmp_path):
+        handle = persist_columns(tiny_columns, tmp_path).handle
+        tmp_leftover = tmp_path / "columns-deadbeef.tmp-123"
+        tmp_leftover.mkdir()
+        broken = tmp_path / "columns-0000000000000000000000ff"
+        broken.mkdir()  # no meta.json at all
+        stale = prune_cache(tmp_path)
+        assert stale == sorted([broken, tmp_leftover])
+        assert tmp_leftover.exists() and broken.exists()  # dry run
+        assert open_column_store(handle.directory) is not None
+
+    def test_apply_removes_only_stale(self, tiny_columns, tmp_path):
+        handle = persist_columns(tiny_columns, tmp_path).handle
+        tmp_leftover = tmp_path / "scenario-cafe.tmp-9"
+        tmp_leftover.mkdir()
+        removed = prune_cache(tmp_path, apply=True)
+        assert removed == [tmp_leftover]
+        assert not tmp_leftover.exists()
+        assert open_column_store(handle.directory) is not None
+
+    def test_stale_code_version(self, tiny_columns, tmp_path, monkeypatch):
+        import repro.artifacts as artifacts
+
+        handle = persist_columns(tiny_columns, tmp_path).handle
+        monkeypatch.setattr(artifacts, "code_version", lambda: "different")
+        assert prune_cache(tmp_path) == [handle.path_of("meta.json").parent]
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        assert prune_cache(tmp_path / "nope") == []
+
+
+class TestColumnarAdapters:
+    def test_matrix_adapter_equals_record_built(self, tiny_scenario, tiny_columns):
+        reference = ClaimMatrix.build(
+            tiny_scenario.records, Granularity.EXTRACTOR_SITE
+        )
+        adapter = ColumnarClaimMatrix(tiny_columns)
+        assert adapter.items == reference.items
+        assert adapter.prov_triples == reference.prov_triples
+        assert adapter.n_claims() == reference.n_claims()
+        assert adapter.provenance_support() == reference.provenance_support()
+        assert adapter.all_triples() == reference.all_triples()
+
+    def test_fusion_input_serves_one_granularity(self, tiny_columns):
+        fusion_input = ColumnarFusionInput(tiny_columns)
+        assert (
+            fusion_input.claims(Granularity.EXTRACTOR_SITE).columnar()
+            is tiny_columns
+        )
+        with pytest.raises(ValueError, match="re-extract"):
+            fusion_input.claims(Granularity.URL_ONLY)
+        assert len(fusion_input) == tiny_columns.n_claims
+        assert fusion_input.unique_triples() == sorted(tiny_columns.triples)

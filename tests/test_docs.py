@@ -67,3 +67,38 @@ class TestDocsLint:
         roadmap = (REPO_ROOT / "ROADMAP.md").read_text()
         assert "README.md" in roadmap
         assert "ARCHITECTURE.md" in roadmap
+
+    def test_scale_presets_in_sync(self):
+        docs_lint = _load_docs_lint()
+        assert docs_lint.check_scale_sync() == []
+
+    def test_scale_sync_catches_a_missing_tier(self, tmp_path):
+        """A new --scale preset without a README table row is lint
+        failure, not silent rot (the table carries the RSS/wall-clock
+        expectations)."""
+        docs_lint = _load_docs_lint()
+        (tmp_path / "README.md").write_text(
+            "| scale |\n|---|\n| `tiny` |\n| `small` |\n| `medium` |\n"
+        )
+        errors = docs_lint.check_scale_sync(tmp_path)
+        assert errors == [
+            "README.md: scale preset 'web' has no row in the "
+            "scale-preset table"
+        ]
+
+    def test_scale_sync_ignores_prose_mentions(self, tmp_path):
+        docs_lint = _load_docs_lint()
+        (tmp_path / "README.md").write_text(
+            "We support `tiny`, `small`, `medium` and `web` scales.\n"
+        )
+        errors = docs_lint.check_scale_sync(tmp_path)
+        assert len(errors) == 4  # prose is not the table
+
+    def test_scaling_doc_exists_and_is_linked(self):
+        """PR acceptance verbatim: docs/SCALING.md exists and both
+        front-door docs link it."""
+        assert (REPO_ROOT / "docs" / "SCALING.md").exists()
+        assert "docs/SCALING.md" in (REPO_ROOT / "README.md").read_text()
+        assert "SCALING.md" in (
+            REPO_ROOT / "docs" / "ARCHITECTURE.md"
+        ).read_text()

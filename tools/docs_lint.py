@@ -22,6 +22,10 @@ suite (``tests/test_docs.py``):
    ``tools/`` (docs lint, contracts lint) must be mentioned somewhere in
    the tracked docs, and every ``tools/<x>.py`` the docs mention must
    exist.
+5. **Scale presets out of sync** — every ``--scale`` preset the CLI
+   exposes (``repro.cli._SCALES``) must have a row in the README
+   scale-preset table, so adding a tier without documenting its memory
+   and wall-clock expectations fails CI.
 
 Usage::
 
@@ -41,12 +45,13 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 LINKED_DOCS = (
     "README.md",
     "docs/ARCHITECTURE.md",
+    "docs/SCALING.md",
     "ROADMAP.md",
     "src/repro/mapreduce/README.md",
 )
 
 #: Docs whose ``repro-kf <subcommand>`` mentions must match the parser.
-CLI_DOCS = ("README.md", "docs/ARCHITECTURE.md")
+CLI_DOCS = ("README.md", "docs/ARCHITECTURE.md", "docs/SCALING.md")
 
 #: Docs whose ``benchmarks/<script>.py`` mentions must name real files.
 BENCH_DOCS = CLI_DOCS + ("ROADMAP.md", "src/repro/mapreduce/README.md")
@@ -194,12 +199,34 @@ def check_tool_sync(root: Path = REPO_ROOT) -> list[str]:
     return errors
 
 
+def check_scale_sync(root: Path = REPO_ROOT) -> list[str]:
+    """Every CLI scale preset has a row in the README scale table."""
+    from repro.cli import _SCALES
+
+    readme_path = root / "README.md"
+    if not readme_path.exists():
+        # Already reported as a missing tracked doc by check_links.
+        return []
+    readme = readme_path.read_text()
+    errors: list[str] = []
+    for scale in sorted(_SCALES):
+        # A table row starting "| `tiny`" — a prose mention is not enough;
+        # the table is where RSS/wall-clock expectations live.
+        if not re.search(rf"^\|\s*`{re.escape(scale)}`", readme, re.M):
+            errors.append(
+                f"README.md: scale preset {scale!r} has no row in the "
+                "scale-preset table"
+            )
+    return errors
+
+
 def run_lint(root: Path = REPO_ROOT) -> list[str]:
     return (
         check_links(root)
         + check_cli_sync(root)
         + check_bench_sync(root)
         + check_tool_sync(root)
+        + check_scale_sync(root)
     )
 
 
